@@ -1,0 +1,293 @@
+// Package jobsched holds the paper-reproduction benchmark harness: one
+// benchmark per table and figure of the evaluation section (Tables 1–8,
+// Figures 1–6), plus ablation benches for the design choices called out
+// in DESIGN.md §5.
+//
+// Each table bench runs the full algorithm grid on a scaled-down
+// deterministic workload (shapes, not absolute values, are the
+// reproduction target — see EXPERIMENTS.md) and logs the rendered table;
+// the reference-cell value is exported via b.ReportMetric so regressions
+// in schedule quality are visible in benchmark diffs.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package jobsched
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"jobsched/internal/eval"
+	"jobsched/internal/job"
+	"jobsched/internal/policy"
+	"jobsched/internal/sched"
+	"jobsched/internal/sim"
+	"jobsched/internal/trace"
+	"jobsched/internal/workload"
+)
+
+// benchJobs is the workload size of the table benches: large enough to
+// exhibit backlog effects, small enough to keep `go test -bench=.` fast.
+const benchJobs = 2500
+
+var (
+	benchOnce sync.Once
+	benchCTC  []*job.Job
+	benchProb []*job.Job
+	benchRand []*job.Job
+)
+
+func loadBenchWorkloads(b *testing.B) {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := workload.DefaultCTCConfig()
+		cfg.SpanSeconds = cfg.SpanSeconds * benchJobs / int64(cfg.Jobs)
+		cfg.Jobs = benchJobs
+		cfg.Seed = 1
+		benchCTC, _ = trace.FilterMaxNodes(workload.CTC(cfg), 256)
+
+		var err error
+		benchProb, err = workload.Probabilistic(benchCTC, benchJobs, 2)
+		if err != nil {
+			panic(err)
+		}
+
+		rcfg := workload.DefaultRandomizedConfig()
+		rcfg.Jobs = benchJobs
+		rcfg.Seed = 3
+		benchRand = workload.Randomized(rcfg)
+	})
+}
+
+// gridBench runs both objective cases of one table and reports the
+// reference (FCFS/EASY) values as custom metrics.
+func gridBench(b *testing.B, title string, jobs []*job.Job) {
+	m := sim.Machine{Nodes: 256}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, c := range []eval.Case{eval.Unweighted, eval.Weighted} {
+			g, err := eval.Run(title, m, jobs, c, eval.Options{Parallel: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				var sb strings.Builder
+				if err := g.Render(&sb); err != nil {
+					b.Fatal(err)
+				}
+				b.Log("\n" + sb.String())
+				b.ReportMetric(g.Ref.Value, "ref-"+strings.ToLower(c.String())+"-s")
+			}
+		}
+	}
+}
+
+// BenchmarkTable3_CTC regenerates Table 3 (and the data of Figures 3–4):
+// average response time of the algorithm grid on the CTC-like workload.
+func BenchmarkTable3_CTC(b *testing.B) {
+	loadBenchWorkloads(b)
+	gridBench(b, "CTC workload", benchCTC)
+}
+
+// BenchmarkTable4_Probabilistic regenerates Table 4 (Figure 5): the
+// probability-distributed workload fitted from the CTC trace.
+func BenchmarkTable4_Probabilistic(b *testing.B) {
+	loadBenchWorkloads(b)
+	gridBench(b, "Probability-distributed workload", benchProb)
+}
+
+// BenchmarkTable5_Randomized regenerates Table 5: the fully randomized
+// workload of Table 2.
+func BenchmarkTable5_Randomized(b *testing.B) {
+	loadBenchWorkloads(b)
+	gridBench(b, "Randomized workload", benchRand)
+}
+
+// BenchmarkTable6_ExactRuntimes regenerates Table 6 (Figure 6): the CTC
+// workload with exact execution times instead of user estimates.
+func BenchmarkTable6_ExactRuntimes(b *testing.B) {
+	loadBenchWorkloads(b)
+	gridBench(b, "CTC workload, exact runtimes", trace.WithExactEstimates(benchCTC))
+}
+
+// computeTimeBench regenerates a scheduler-computation-time table
+// (serial, measured cells).
+func computeTimeBench(b *testing.B, title string, jobs []*job.Job) {
+	m := sim.Machine{Nodes: 256}
+	for i := 0; i < b.N; i++ {
+		for _, c := range []eval.Case{eval.Unweighted, eval.Weighted} {
+			g, err := eval.Run(title, m, jobs, c, eval.Options{MeasureCPU: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				var sb strings.Builder
+				if err := g.RenderComputeTime(&sb); err != nil {
+					b.Fatal(err)
+				}
+				b.Log("\n" + sb.String())
+			}
+		}
+	}
+}
+
+// BenchmarkTable7_ComputeTimeCTC regenerates Table 7: scheduler
+// computation time on the CTC workload, relative to FCFS/EASY.
+func BenchmarkTable7_ComputeTimeCTC(b *testing.B) {
+	loadBenchWorkloads(b)
+	computeTimeBench(b, "CTC workload", benchCTC)
+}
+
+// BenchmarkTable8_ComputeTimeProb regenerates Table 8: scheduler
+// computation time on the probability-distributed workload.
+func BenchmarkTable8_ComputeTimeProb(b *testing.B) {
+	loadBenchWorkloads(b)
+	computeTimeBench(b, "Probability-distributed workload", benchProb)
+}
+
+// BenchmarkFigure1_Pareto regenerates Figure 1: the Pareto front and
+// partial order of the Example 1 two-criteria schedule space.
+func BenchmarkFigure1_Pareto(b *testing.B) {
+	sc := policy.ChemistryScenario(1, 10)
+	reserves := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := 0; i < b.N; i++ {
+		pts, err := policy.Figure1(sc, reserves)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			front := 0
+			for _, p := range pts {
+				if p.Rank >= 0 {
+					front++
+				}
+			}
+			b.ReportMetric(float64(front), "pareto-front-size")
+		}
+	}
+}
+
+// BenchmarkFigure2_OnlineOffline regenerates Figure 2: the on-line
+// versus off-line achievable regions.
+func BenchmarkFigure2_OnlineOffline(b *testing.B) {
+	sc := policy.ChemistryScenario(1, 10)
+	reserves := []float64{0, 0.5, 1}
+	for i := 0; i < b.N; i++ {
+		online, offline, err := policy.Figure2(sc, reserves)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(online)+len(offline)), "points")
+		}
+	}
+}
+
+// --- Ablation benches (DESIGN.md §5) ---
+
+func runCell(b *testing.B, jobs []*job.Job, cfg sched.Config, o sched.OrderName, s sched.StartName) float64 {
+	b.Helper()
+	alg, err := sched.New(o, s, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := sim.Run(sim.Machine{Nodes: cfg.MachineNodes}, job.CloneAll(jobs), alg, sim.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sum float64
+	for _, a := range res.Schedule.Allocs {
+		sum += float64(a.End - a.Job.Submit)
+	}
+	return sum / float64(len(res.Schedule.Allocs))
+}
+
+// BenchmarkAblationSmartGamma sweeps SMART's geometric bin factor γ
+// (paper value: 2).
+func BenchmarkAblationSmartGamma(b *testing.B) {
+	loadBenchWorkloads(b)
+	for _, gamma := range []float64{1.5, 2, 4, 8} {
+		b.Run(fmt.Sprintf("gamma=%.1f", gamma), func(b *testing.B) {
+			cfg := sched.Config{MachineNodes: 256, SmartGamma: gamma}
+			for i := 0; i < b.N; i++ {
+				v := runCell(b, benchCTC, cfg, sched.OrderSMARTFFIA, sched.StartEASY)
+				if i == 0 {
+					b.ReportMetric(v, "avg-response-s")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRecomputeRatio sweeps the SMART/PSRS replanning
+// trigger (paper value: 2/3).
+func BenchmarkAblationRecomputeRatio(b *testing.B) {
+	loadBenchWorkloads(b)
+	for _, ratio := range []float64{0.25, 0.5, 2.0 / 3.0, 0.9} {
+		b.Run(fmt.Sprintf("ratio=%.2f", ratio), func(b *testing.B) {
+			cfg := sched.Config{MachineNodes: 256, RecomputeRatio: ratio}
+			for i := 0; i < b.N; i++ {
+				v := runCell(b, benchCTC, cfg, sched.OrderPSRS, sched.StartEASY)
+				if i == 0 {
+					b.ReportMetric(v, "avg-response-s")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationConservativeDepth sweeps the conservative starter's
+// backfill depth bound (0 = unlimited, the paper's semantics).
+func BenchmarkAblationConservativeDepth(b *testing.B) {
+	loadBenchWorkloads(b)
+	for _, depth := range []int{0, 10, 100, 1000} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			cfg := sched.Config{MachineNodes: 256, MaxBackfillDepth: depth}
+			for i := 0; i < b.N; i++ {
+				v := runCell(b, benchCTC, cfg, sched.OrderFCFS, sched.StartConservative)
+				if i == 0 {
+					b.ReportMetric(v, "avg-response-s")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEstimateAccuracy sweeps the user overestimation
+// factor from exact to 10× (extends Table 6 into a curve).
+func BenchmarkAblationEstimateAccuracy(b *testing.B) {
+	loadBenchWorkloads(b)
+	for _, f := range []float64{1, 2, 5, 10} {
+		b.Run(fmt.Sprintf("factor=%.0fx", f), func(b *testing.B) {
+			jobs := trace.ScaleEstimates(benchCTC, f)
+			cfg := sched.Config{MachineNodes: 256}
+			for i := 0; i < b.N; i++ {
+				v := runCell(b, jobs, cfg, sched.OrderFCFS, sched.StartEASY)
+				if i == 0 {
+					b.ReportMetric(v, "avg-response-s")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMachineSize sweeps the batch partition size
+// (capacity planning: the paper's introduction motivation).
+func BenchmarkAblationMachineSize(b *testing.B) {
+	loadBenchWorkloads(b)
+	for _, nodes := range []int{128, 256, 384, 512} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			jobs, _ := trace.FilterMaxNodes(benchCTC, nodes)
+			cfg := sched.Config{MachineNodes: nodes}
+			for i := 0; i < b.N; i++ {
+				v := runCell(b, jobs, cfg, sched.OrderFCFS, sched.StartEASY)
+				if i == 0 {
+					b.ReportMetric(v, "avg-response-s")
+				}
+			}
+		})
+	}
+}

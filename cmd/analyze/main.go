@@ -1,0 +1,141 @@
+// Command analyze inspects a workload (SWF file or generated) and
+// optionally simulates one algorithm over it, reporting distribution
+// statistics, model-fit quality, optimality gaps against theoretical
+// lower bounds, and schedule time series.
+//
+// Usage:
+//
+//	analyze -in trace.swf
+//	analyze -workload ctc -jobs 5000 -simulate -order SMART-FFIA -start EASY-Backfilling
+//	analyze -workload random -simulate -gantt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jobsched/internal/analysis"
+	"jobsched/internal/bounds"
+	"jobsched/internal/cli"
+	"jobsched/internal/core"
+	"jobsched/internal/job"
+	"jobsched/internal/sched"
+	"jobsched/internal/stats"
+	"jobsched/internal/workload"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "SWF input file")
+		wl       = flag.String("workload", "", "generate instead: ctc, prob, random")
+		n        = flag.Int("jobs", 5000, "jobs for generated workloads")
+		nodes    = flag.Int("nodes", 256, "machine size")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		simulate = flag.Bool("simulate", false, "also simulate and analyze the schedule")
+		order    = flag.String("order", "FCFS", "order policy for -simulate")
+		start    = flag.String("start", "EASY-Backfilling", "start policy for -simulate")
+		gantt    = flag.Bool("gantt", false, "render an ASCII Gantt chart (-simulate)")
+		csvDir   = flag.String("csv", "", "write utilization/backlog series CSVs here")
+	)
+	flag.Parse()
+	if err := run(*in, *wl, *n, *nodes, *seed, *simulate, *order, *start, *gantt, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, wl string, n, nodes int, seed int64, simulate bool, order, start string, gantt bool, csvDir string) error {
+	jobs, err := load(in, wl, n, nodes, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== workload ==")
+	if err := analysis.WorkloadReport(os.Stdout, jobs, nodes); err != nil {
+		return err
+	}
+
+	// Model-fit diagnostics (Section 6.2 verification).
+	if m, err := workload.FitModel(jobs, nil); err == nil {
+		sorted := job.SortBySubmit(job.CloneAll(jobs))
+		inter := make([]float64, 0, len(sorted)-1)
+		for i := 1; i < len(sorted); i++ {
+			d := float64(sorted[i].Submit - sorted[i-1].Submit)
+			if d < 1 {
+				d = 1
+			}
+			inter = append(inter, d)
+		}
+		fmt.Printf("weibull fit:     k=%.3f λ=%.1f (interarrival KS distance %.4f)\n",
+			m.Interarrival.K, m.Interarrival.Lambda,
+			stats.KSAgainstCDF(inter, m.Interarrival.CDF))
+	}
+
+	// Theoretical lower bounds (Section 2.3).
+	fmt.Println("\n== lower bounds (any non-preemptive schedule) ==")
+	fmt.Printf("makespan:                   >= %d s\n", bounds.Makespan(jobs, nodes))
+	lbResp := bounds.AvgResponseTime(jobs, nodes)
+	fmt.Printf("avg response time:          >= %.4g s\n", lbResp)
+	fmt.Printf("avg weighted response time: >= %.4g node-s^2\n",
+		bounds.AvgWeightedResponseTime(jobs, nodes))
+
+	if !simulate {
+		return nil
+	}
+	alg, err := core.NewScheduler(sched.OrderName(order), sched.StartName(start), nodes, false)
+	if err != nil {
+		return err
+	}
+	res, err := core.Simulate(core.Machine{Nodes: nodes}, jobs, alg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n== schedule (%s) ==\n", alg.Name())
+	fmt.Printf("avg response time:  %.4g s (gap vs bound: %.1f%%)\n",
+		res.AvgResponse, bounds.Gap(res.AvgResponse, lbResp)*100)
+	fmt.Printf("makespan:           %d s\n", res.Makespan)
+	fmt.Printf("utilization:        %.1f%%\n", res.Utilization*100)
+	util := analysis.UtilizationSeries(res.Schedule)
+	backlog := analysis.BacklogSeries(res.Schedule)
+	fmt.Printf("peak backlog:       %.0f jobs\n", analysis.MaxValue(backlog))
+	fmt.Printf("mean utilization:   %.1f%% (time-weighted)\n", analysis.MeanValue(util)*100)
+
+	if csvDir != "" {
+		for _, series := range []struct {
+			name    string
+			samples []analysis.Sample
+		}{{"utilization", util}, {"backlog", backlog}} {
+			f, err := os.Create(fmt.Sprintf("%s/%s.csv", csvDir, series.name))
+			if err != nil {
+				return err
+			}
+			if err := analysis.SeriesCSV(f, series.name, series.samples); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("(series written to %s)\n", csvDir)
+	}
+	if gantt {
+		fmt.Println()
+		return analysis.Gantt(os.Stdout, res.Schedule, analysis.GanttConfig{})
+	}
+	return nil
+}
+
+func load(in, wl string, n, nodes int, seed int64) ([]*job.Job, error) {
+	kind := wl
+	if in != "" {
+		kind = "swf"
+	}
+	if kind == "" {
+		return nil, fmt.Errorf("need -in or -workload")
+	}
+	jobs, _, err := cli.Load(cli.LoadOptions{
+		Kind: kind, Path: in, Jobs: n, MachineNodes: nodes, Seed: seed,
+	})
+	return jobs, err
+}

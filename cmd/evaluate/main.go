@@ -1,0 +1,195 @@
+// Command evaluate reproduces the paper's full evaluation: Tables 1–8
+// and the data series behind Figures 3–6.
+//
+// Usage:
+//
+//	evaluate [-full] [-table N] [-csv dir] [-nodes 256] [-seed 1]
+//
+// Without -full, scaled-down workloads (≈1/8 of the paper's job counts)
+// are used so the whole run finishes in well under a minute; -full uses
+// the paper-scale counts of Table 1 (79,164 / 50,000 / 50,000 jobs),
+// which takes a few minutes. Shapes, not absolute values, are the
+// reproduction target (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"jobsched/internal/eval"
+	"jobsched/internal/job"
+	"jobsched/internal/sim"
+	"jobsched/internal/trace"
+	"jobsched/internal/workload"
+)
+
+func main() {
+	var (
+		full   = flag.Bool("full", false, "paper-scale job counts (slower)")
+		table  = flag.Int("table", 0, "only this table (1-8); 0 = all")
+		csvDir = flag.String("csv", "", "also write per-table CSV series (figures) to this directory")
+		nodes  = flag.Int("nodes", 256, "batch partition size")
+		seed   = flag.Int64("seed", 1, "workload generation seed")
+	)
+	flag.Parse()
+	if err := run(*full, *table, *csvDir, *nodes, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "evaluate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(full bool, table int, csvDir string, nodes int, seed int64) error {
+	scale := 8
+	if full {
+		scale = 1
+	}
+
+	// Workloads (Section 6).
+	ctcCfg := workload.DefaultCTCConfig()
+	ctcCfg.Jobs /= scale
+	ctcCfg.SpanSeconds /= int64(scale)
+	ctcCfg.Seed = seed
+	ctcRaw := workload.CTC(ctcCfg)
+	ctc, removed := trace.FilterMaxNodes(ctcRaw, nodes)
+
+	m := sim.Machine{Nodes: nodes}
+	want := func(n int) bool { return table == 0 || table == n }
+
+	if want(1) {
+		fmt.Println("Table 1. Number of jobs in various workloads")
+		fmt.Printf("  %-26s %d (generated %d, %d deleted as wider than %d nodes)\n",
+			"CTC", len(ctc), len(ctcRaw), removed, nodes)
+		fmt.Printf("  %-26s %d\n", "Probability distribution", workload.ProbabilisticJobs/scale)
+		fmt.Printf("  %-26s %d\n", "Randomized", workload.RandomizedJobs/scale)
+		fmt.Println()
+	}
+	if want(2) {
+		fmt.Println("Table 2. Parameters for randomized job generation")
+		cfg := workload.DefaultRandomizedConfig()
+		fmt.Printf("  Submission of jobs            >= 1 job per hour (gap <= %d s)\n", cfg.MaxGap)
+		fmt.Printf("  Requested number of nodes     %d - %d\n", cfg.MinNodes, cfg.MaxNodes)
+		fmt.Printf("  Upper limit for execution     %d s - %d s\n", cfg.MinLimit, cfg.MaxLimit)
+		fmt.Printf("  Actual execution time         %d s - upper limit\n", cfg.MinRuntime)
+		fmt.Println()
+	}
+
+	// Paper-scale saturated runs use the horizon-accelerated conservative
+	// walk; scaled runs keep the exact semantics.
+	gridOpts := eval.Options{Parallel: true, Validate: true, FastConservative: full}
+	emit := func(name string, g *eval.Grid) error {
+		if err := g.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		if csvDir != "" {
+			path := filepath.Join(csvDir, name+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := g.CSV(f); err != nil {
+				return err
+			}
+			fmt.Printf("  (series written to %s)\n\n", path)
+		}
+		return nil
+	}
+
+	runBoth := func(title, name string, jobs []*workloadJob) error {
+		for _, c := range []eval.Case{eval.Unweighted, eval.Weighted} {
+			g, err := eval.Run(title, m, jobs, c, gridOpts)
+			if err != nil {
+				return err
+			}
+			if err := emit(fmt.Sprintf("%s_%s", name, c), g); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if want(3) {
+		fmt.Println("Table 3 / Figures 3-4. Average response time, CTC workload")
+		if err := runBoth("CTC workload", "table3", ctc); err != nil {
+			return err
+		}
+	}
+	if want(4) {
+		fmt.Println("Table 4 / Figure 5. Average response time, probability-distributed workload")
+		prob, err := workload.Probabilistic(ctc, workload.ProbabilisticJobs/scale, seed+1)
+		if err != nil {
+			return err
+		}
+		if err := runBoth("Probability-distributed workload", "table4", prob); err != nil {
+			return err
+		}
+	}
+	if want(5) {
+		fmt.Println("Table 5. Average response time, randomized workload")
+		rcfg := workload.DefaultRandomizedConfig()
+		rcfg.Jobs /= scale
+		rcfg.Seed = seed + 2
+		if err := runBoth("Randomized workload", "table5", workload.Randomized(rcfg)); err != nil {
+			return err
+		}
+	}
+	if want(6) {
+		fmt.Println("Table 6 / Figure 6. CTC workload with exact job execution times")
+		exact := trace.WithExactEstimates(ctc)
+		if err := runBoth("CTC workload, exact runtimes", "table6", exact); err != nil {
+			return err
+		}
+	}
+	if want(7) {
+		fmt.Println("Table 7. Scheduler computation time, CTC workload")
+		if err := computeTimeTable("CTC workload", m, ctc, csvDir, "table7"); err != nil {
+			return err
+		}
+	}
+	if want(8) {
+		fmt.Println("Table 8. Scheduler computation time, probability-distributed workload")
+		prob, err := workload.Probabilistic(ctc, workload.ProbabilisticJobs/scale, seed+1)
+		if err != nil {
+			return err
+		}
+		if err := computeTimeTable("Probability-distributed workload", m, prob, csvDir, "table8"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// workloadJob aliases the job type to keep helper signatures short.
+type workloadJob = job.Job
+
+func computeTimeTable(title string, m sim.Machine, jobs []*workloadJob, csvDir, name string) error {
+	// Computation time must be measured serially so cells are comparable.
+	for _, c := range []eval.Case{eval.Unweighted, eval.Weighted} {
+		g, err := eval.Run(title, m, jobs, c, eval.Options{MeasureCPU: true})
+		if err != nil {
+			return err
+		}
+		if err := g.RenderComputeTime(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		if csvDir != "" {
+			path := filepath.Join(csvDir, fmt.Sprintf("%s_%s.csv", name, c))
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := g.CSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+// Command genworkload generates one of the paper's three workload
+// classes and writes it as a Standard Workload Format (SWF) file.
+//
+// Usage:
+//
+//	genworkload -kind ctc -jobs 79164 -out ctc.swf
+//	genworkload -kind prob -jobs 50000 -out prob.swf
+//	genworkload -kind random -jobs 50000 -out random.swf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jobsched/internal/job"
+	"jobsched/internal/trace"
+	"jobsched/internal/workload"
+)
+
+func main() {
+	var (
+		kind = flag.String("kind", "ctc", "workload kind: ctc, prob, random")
+		n    = flag.Int("jobs", 0, "number of jobs (0 = paper scale)")
+		out  = flag.String("out", "", "output file (default stdout)")
+		seed = flag.Int64("seed", 1, "generation seed")
+	)
+	flag.Parse()
+	if err := run(*kind, *n, *out, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "genworkload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind string, n int, out string, seed int64) error {
+	var (
+		jobs   []*job.Job
+		header trace.Header
+		err    error
+	)
+	switch kind {
+	case "ctc":
+		cfg := workload.DefaultCTCConfig()
+		if n > 0 {
+			cfg.SpanSeconds = cfg.SpanSeconds * int64(n) / int64(cfg.Jobs)
+			cfg.Jobs = n
+		}
+		cfg.Seed = seed
+		jobs = workload.CTC(cfg)
+		header = trace.Header{
+			Computer: "synthetic CTC SP2 model",
+			MaxNodes: cfg.MachineNodes,
+			Note:     "calibrated substitute for the CTC trace (DESIGN.md section 3)",
+		}
+	case "prob":
+		if n == 0 {
+			n = workload.ProbabilisticJobs
+		}
+		cfg := workload.DefaultCTCConfig()
+		cfg.SpanSeconds = cfg.SpanSeconds * int64(n) / int64(cfg.Jobs)
+		cfg.Jobs = n
+		cfg.Seed = seed
+		src := workload.CTC(cfg)
+		jobs, err = workload.Probabilistic(src, n, seed+1)
+		if err != nil {
+			return err
+		}
+		header = trace.Header{
+			Computer: "probability-distributed model",
+			MaxNodes: job.MaxNodes(jobs),
+			Note:     "Weibull submission + binned node/time distributions (paper section 6.2)",
+		}
+	case "random":
+		cfg := workload.DefaultRandomizedConfig()
+		if n > 0 {
+			cfg.Jobs = n
+		}
+		cfg.Seed = seed
+		jobs = workload.Randomized(cfg)
+		header = trace.Header{
+			Computer: "randomized model",
+			MaxNodes: cfg.MaxNodes,
+			Note:     "uniform parameters per paper table 2",
+		}
+	default:
+		return fmt.Errorf("unknown kind %q", kind)
+	}
+
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.Write(w, header, jobs); err != nil {
+		return err
+	}
+	s := trace.Summarize(jobs)
+	fmt.Fprintf(os.Stderr, "genworkload: %d jobs, span %d s, mean nodes %.1f, mean runtime %.0f s, overestimation %.1fx\n",
+		s.Jobs, s.SpanSeconds, s.MeanNodes, s.MeanRuntime, s.OverestFactor)
+	return nil
+}

@@ -1,0 +1,82 @@
+// Command simulate runs a single scheduling algorithm over a single
+// workload and prints detailed metrics — the "one cell" view of the
+// paper's evaluation grid.
+//
+// Usage:
+//
+//	simulate -order FCFS -start EASY-Backfilling -workload ctc -jobs 10000
+//	simulate -order SMART-FFIA -start Backfilling -weighted -workload random
+//	simulate -workload swf -in trace.swf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jobsched/internal/cli"
+	"jobsched/internal/core"
+	"jobsched/internal/job"
+	"jobsched/internal/sched"
+	"jobsched/internal/trace"
+)
+
+func main() {
+	var (
+		order    = flag.String("order", "FCFS", "order policy: FCFS, PSRS, SMART-FFIA, SMART-NFIW, Garey&Graham")
+		start    = flag.String("start", "EASY-Backfilling", "start policy: List, Backfilling, EASY-Backfilling")
+		weighted = flag.Bool("weighted", false, "use the weighted objective's scheduling weights")
+		wl       = flag.String("workload", "ctc", "workload: ctc, prob, random, swf")
+		in       = flag.String("in", "", "SWF input file (workload=swf)")
+		jobs     = flag.Int("jobs", 10000, "number of jobs (generated workloads)")
+		nodes    = flag.Int("nodes", 256, "batch partition size")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		exact    = flag.Bool("exact", false, "replace estimates by exact runtimes (Section 6.1)")
+	)
+	flag.Parse()
+	if err := run(*order, *start, *weighted, *wl, *in, *jobs, *nodes, *seed, *exact); err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(order, start string, weighted bool, wl, in string, n, nodes int, seed int64, exact bool) error {
+	js, err := loadWorkload(wl, in, n, nodes, seed)
+	if err != nil {
+		return err
+	}
+	if exact {
+		js = trace.WithExactEstimates(js)
+	}
+	s, err := core.NewScheduler(sched.OrderName(order), sched.StartName(start), nodes, weighted)
+	if err != nil {
+		return err
+	}
+	res, err := core.Simulate(core.Machine{Nodes: nodes}, js, s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("algorithm:                       %s\n", s.Name())
+	fmt.Printf("jobs:                            %d\n", len(js))
+	fmt.Printf("machine nodes:                   %d\n", nodes)
+	fmt.Printf("average response time:           %.4g s\n", res.AvgResponse)
+	fmt.Printf("average weighted response time:  %.4g node-s^2\n", res.AvgWeightedResponse)
+	fmt.Printf("average wait time:               %.4g s\n", res.AvgWait)
+	fmt.Printf("makespan:                        %d s\n", res.Makespan)
+	fmt.Printf("utilization:                     %.2f%%\n", res.Utilization*100)
+	fmt.Printf("max queue length:                %d\n", res.MaxQueue)
+	return nil
+}
+
+func loadWorkload(wl, in string, n, nodes int, seed int64) ([]*job.Job, error) {
+	jobs, removed, err := cli.Load(cli.LoadOptions{
+		Kind: wl, Path: in, Jobs: n, MachineNodes: nodes, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if removed > 0 {
+		fmt.Fprintf(os.Stderr, "simulate: deleted %d jobs wider than %d nodes\n", removed, nodes)
+	}
+	return jobs, nil
+}

@@ -1,0 +1,45 @@
+// Quickstart: simulate one scheduling algorithm on a small randomized
+// workload and print the headline metrics.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jobsched/internal/core"
+	"jobsched/internal/sched"
+	"jobsched/internal/workload"
+)
+
+func main() {
+	// A 256-node batch partition, as in the paper's Example 5.
+	machine := core.Machine{Nodes: 256}
+
+	// A small randomized workload (paper Table 2 parameters).
+	cfg := workload.DefaultRandomizedConfig()
+	cfg.Jobs = 2000
+	cfg.Seed = 7
+	jobs := workload.Randomized(cfg)
+
+	// FCFS with EASY backfilling — the production setting at the CTC,
+	// and the paper's reference algorithm.
+	scheduler, err := core.NewScheduler(sched.OrderFCFS, sched.StartEASY, machine.Nodes, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := core.Simulate(machine, jobs, scheduler)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("simulated %d jobs under %s\n", len(jobs), scheduler.Name())
+	fmt.Printf("  average response time: %.0f s\n", res.AvgResponse)
+	fmt.Printf("  average wait time:     %.0f s\n", res.AvgWait)
+	fmt.Printf("  makespan:              %d s\n", res.Makespan)
+	fmt.Printf("  utilization:           %.1f%%\n", res.Utilization*100)
+}

@@ -1,0 +1,3 @@
+module jobsched
+
+go 1.22

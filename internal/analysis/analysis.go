@@ -1,0 +1,264 @@
+// Package analysis derives time-series and visual summaries from
+// completed schedules and workloads: utilization profiles, backlog
+// curves, ASCII Gantt charts and CSV exports. These are the working data
+// behind figures and the `analyze` command.
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"jobsched/internal/job"
+	"jobsched/internal/sim"
+)
+
+// Sample is one point of a schedule time series.
+type Sample struct {
+	At    int64
+	Value float64
+}
+
+// UtilizationSeries returns the fraction of busy nodes over time,
+// sampled at every change point (exact step function, one sample per
+// distinct event time).
+func UtilizationSeries(s *sim.Schedule) []Sample {
+	type ev struct {
+		at    int64
+		delta int
+	}
+	events := make([]ev, 0, 2*len(s.Allocs))
+	for _, a := range s.Allocs {
+		events = append(events, ev{a.Start, a.Job.Nodes}, ev{a.End, -a.Job.Nodes})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		return events[i].delta < events[j].delta
+	})
+	var out []Sample
+	used := 0
+	for i, e := range events {
+		used += e.delta
+		if i+1 < len(events) && events[i+1].at == e.at {
+			continue // coalesce simultaneous events
+		}
+		out = append(out, Sample{At: e.at, Value: float64(used) / float64(s.Machine.Nodes)})
+	}
+	return out
+}
+
+// BacklogSeries returns the number of submitted-but-not-yet-started jobs
+// over time — the backlog curve whose growth the paper attributes to
+// replaying a 430-node trace on 256 nodes. Failure-aborted attempts put
+// their job back into the backlog from the abort until the restart.
+func BacklogSeries(s *sim.Schedule) []Sample {
+	type ev struct {
+		at    int64
+		delta int
+	}
+	// Group attempts per job: the first waits from submission, each
+	// restart from its predecessor's abort.
+	byJob := map[*job.Job][]sim.Allocation{}
+	for _, a := range s.Allocs {
+		byJob[a.Job] = append(byJob[a.Job], a)
+	}
+	events := make([]ev, 0, 2*len(s.Allocs))
+	for _, as := range byJob {
+		sort.Slice(as, func(i, j int) bool { return as[i].Start < as[j].Start })
+		waitFrom := as[0].Job.Submit
+		for _, a := range as {
+			events = append(events, ev{waitFrom, 1}, ev{a.Start, -1})
+			waitFrom = a.End // a restart waits from the abort time
+		}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		return events[i].delta < events[j].delta
+	})
+	var out []Sample
+	depth := 0
+	for i, e := range events {
+		depth += e.delta
+		if i+1 < len(events) && events[i+1].at == e.at {
+			continue
+		}
+		out = append(out, Sample{At: e.at, Value: float64(depth)})
+	}
+	return out
+}
+
+// SeriesCSV writes samples as CSV with the given value column name.
+func SeriesCSV(w io.Writer, name string, samples []Sample) error {
+	if _, err := fmt.Fprintf(w, "time_s,%s\n", name); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		if _, err := fmt.Fprintf(w, "%d,%g\n", s.At, s.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MaxValue returns the largest sample value (0 for empty series).
+func MaxValue(samples []Sample) float64 {
+	var m float64
+	for _, s := range samples {
+		if s.Value > m {
+			m = s.Value
+		}
+	}
+	return m
+}
+
+// MeanValue returns the time-weighted mean of a step-function series
+// between the first and last sample (0 if fewer than 2 samples).
+func MeanValue(samples []Sample) float64 {
+	if len(samples) < 2 {
+		return 0
+	}
+	var area float64
+	for i := 0; i+1 < len(samples); i++ {
+		area += samples[i].Value * float64(samples[i+1].At-samples[i].At)
+	}
+	span := float64(samples[len(samples)-1].At - samples[0].At)
+	if span == 0 {
+		return 0
+	}
+	return area / span
+}
+
+// GanttConfig controls ASCII Gantt rendering.
+type GanttConfig struct {
+	// Width is the number of character columns (default 80).
+	Width int
+	// MaxJobs caps the rendered rows (default 40; the busiest jobs by
+	// area are kept).
+	MaxJobs int
+}
+
+// Gantt renders an ASCII Gantt chart of the schedule: one row per job,
+// '#' during execution, '.' while waiting. Rows are ordered by start.
+func Gantt(w io.Writer, s *sim.Schedule, cfg GanttConfig) error {
+	if cfg.Width <= 0 {
+		cfg.Width = 80
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 40
+	}
+	if len(s.Allocs) == 0 {
+		_, err := fmt.Fprintln(w, "(empty schedule)")
+		return err
+	}
+	allocs := append([]sim.Allocation(nil), s.Allocs...)
+	if len(allocs) > cfg.MaxJobs {
+		sort.Slice(allocs, func(i, j int) bool {
+			return allocs[i].Job.Area() > allocs[j].Job.Area()
+		})
+		allocs = allocs[:cfg.MaxJobs]
+	}
+	sort.Slice(allocs, func(i, j int) bool { return allocs[i].Start < allocs[j].Start })
+
+	lo := allocs[0].Job.Submit
+	hi := int64(0)
+	for _, a := range allocs {
+		if a.Job.Submit < lo {
+			lo = a.Job.Submit
+		}
+		if a.End > hi {
+			hi = a.End
+		}
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	col := func(t int64) int {
+		c := int(float64(t-lo) / float64(hi-lo) * float64(cfg.Width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= cfg.Width {
+			c = cfg.Width - 1
+		}
+		return c
+	}
+	fmt.Fprintf(w, "t = %d .. %d s, %d of %d jobs ('.' waiting, '#' running)\n",
+		lo, hi, len(allocs), len(s.Allocs))
+	for _, a := range allocs {
+		row := make([]byte, cfg.Width)
+		for i := range row {
+			row[i] = ' '
+		}
+		for c := col(a.Job.Submit); c <= col(a.Start); c++ {
+			row[c] = '.'
+		}
+		for c := col(a.Start); c <= col(a.End-1); c++ {
+			row[c] = '#'
+		}
+		if _, err := fmt.Fprintf(w, "%6d|%s| %dn\n", a.Job.ID, string(row), a.Job.Nodes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WorkloadReport summarizes a workload for the analyze command.
+func WorkloadReport(w io.Writer, jobs []*job.Job, machineNodes int) error {
+	if len(jobs) == 0 {
+		_, err := fmt.Fprintln(w, "(empty workload)")
+		return err
+	}
+	var (
+		area     float64
+		runtimes []float64
+		widths   = map[int]int{}
+	)
+	first, last := job.Span(jobs)
+	for _, j := range jobs {
+		area += j.Area()
+		runtimes = append(runtimes, float64(j.Runtime))
+		widths[j.Nodes]++
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "jobs:            %d\n", len(jobs))
+	fmt.Fprintf(&b, "span:            %d s (%.1f days)\n", last-first, float64(last-first)/86400)
+	fmt.Fprintf(&b, "total area:      %.4g node-s\n", area)
+	if machineNodes > 0 && last > first {
+		fmt.Fprintf(&b, "offered load:    %.3f on %d nodes\n",
+			area/(float64(last-first)*float64(machineNodes)), machineNodes)
+	}
+	sort.Float64s(runtimes)
+	fmt.Fprintf(&b, "runtime p50/p90: %.0f / %.0f s\n",
+		runtimes[len(runtimes)/2], runtimes[len(runtimes)*9/10])
+	top := topWidths(widths, 5)
+	fmt.Fprintf(&b, "top widths:      %s\n", top)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func topWidths(widths map[int]int, k int) string {
+	type wc struct{ w, c int }
+	var all []wc
+	for w, c := range widths {
+		all = append(all, wc{w, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].w < all[j].w
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	parts := make([]string, len(all))
+	for i, x := range all {
+		parts[i] = fmt.Sprintf("%d nodes ×%d", x.w, x.c)
+	}
+	return strings.Join(parts, ", ")
+}

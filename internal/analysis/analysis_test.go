@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"jobsched/internal/job"
+	"jobsched/internal/sim"
+)
+
+func twoJobSchedule() *sim.Schedule {
+	j0 := &job.Job{ID: 0, Nodes: 2, Submit: 0, Runtime: 100, Estimate: 100}
+	j1 := &job.Job{ID: 1, Nodes: 2, Submit: 10, Runtime: 50, Estimate: 50}
+	return &sim.Schedule{
+		Machine: sim.Machine{Nodes: 4},
+		Allocs: []sim.Allocation{
+			{Job: j0, Start: 0, End: 100},
+			{Job: j1, Start: 20, End: 70},
+		},
+	}
+}
+
+func TestUtilizationSeries(t *testing.T) {
+	s := UtilizationSeries(twoJobSchedule())
+	// Expected step function: t=0 → 0.5, t=20 → 1.0, t=70 → 0.5,
+	// t=100 → 0.
+	want := []Sample{{0, 0.5}, {20, 1}, {70, 0.5}, {100, 0}}
+	if len(s) != len(want) {
+		t.Fatalf("series = %v", s)
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("sample %d = %v, want %v", i, s[i], want[i])
+		}
+	}
+}
+
+func TestBacklogSeries(t *testing.T) {
+	s := BacklogSeries(twoJobSchedule())
+	// Job 0: submit 0 start 0 (no wait). Job 1: submit 10, start 20.
+	// Events: 0:+1, 0:-1 → 0; 10:+1 → 1; 20:-1 → 0.
+	want := []Sample{{0, 0}, {10, 1}, {20, 0}}
+	if len(s) != len(want) {
+		t.Fatalf("series = %v", s)
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("sample %d = %v, want %v", i, s[i], want[i])
+		}
+	}
+}
+
+func TestSeriesAggregates(t *testing.T) {
+	s := []Sample{{0, 1}, {10, 3}, {20, 0}}
+	if got := MaxValue(s); got != 3 {
+		t.Errorf("MaxValue = %v", got)
+	}
+	// Time-weighted mean over [0,20): (1×10 + 3×10)/20 = 2.
+	if got := MeanValue(s); got != 2 {
+		t.Errorf("MeanValue = %v", got)
+	}
+	if MaxValue(nil) != 0 || MeanValue(nil) != 0 || MeanValue(s[:1]) != 0 {
+		t.Error("degenerate series aggregates")
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SeriesCSV(&buf, "util", []Sample{{5, 0.25}}); err != nil {
+		t.Fatal(err)
+	}
+	want := "time_s,util\n5,0.25\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q", buf.String())
+	}
+}
+
+func TestGanttRendersRows(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Gantt(&buf, twoJobSchedule(), GanttConfig{Width: 40}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "#") {
+		t.Error("no execution marks")
+	}
+	if !strings.Contains(out, ".") {
+		t.Error("no waiting marks (job 1 waits 10 s)")
+	}
+	if lines := strings.Count(out, "\n"); lines != 3 { // header + 2 jobs
+		t.Errorf("%d lines:\n%s", lines, out)
+	}
+}
+
+func TestGanttEmptyAndCapped(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Gantt(&buf, &sim.Schedule{Machine: sim.Machine{Nodes: 4}}, GanttConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty") {
+		t.Error("empty schedule not reported")
+	}
+	// Cap: 3 allocations, MaxJobs 2 → 2 rows.
+	s := twoJobSchedule()
+	j2 := &job.Job{ID: 2, Nodes: 1, Submit: 0, Runtime: 10, Estimate: 10}
+	s.Allocs = append(s.Allocs, sim.Allocation{Job: j2, Start: 0, End: 10})
+	buf.Reset()
+	if err := Gantt(&buf, s, GanttConfig{Width: 40, MaxJobs: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 3 {
+		t.Errorf("capped gantt has %d lines", lines)
+	}
+}
+
+func TestWorkloadReport(t *testing.T) {
+	jobs := []*job.Job{
+		{ID: 0, Nodes: 4, Submit: 0, Runtime: 100, Estimate: 200},
+		{ID: 1, Nodes: 4, Submit: 50, Runtime: 400, Estimate: 400},
+	}
+	var buf bytes.Buffer
+	if err := WorkloadReport(&buf, jobs, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"jobs:", "offered load:", "4 nodes ×2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := WorkloadReport(&buf, nil, 8); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty") {
+		t.Error("empty workload not reported")
+	}
+}

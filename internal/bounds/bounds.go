@@ -1,0 +1,172 @@
+// Package bounds computes theoretical lower bounds for schedule costs.
+//
+// The paper (Section 2.3) notes that while competitive analysis is of
+// limited use for production scheduling systems, "occasionally, this
+// method is used to determine lower bounds for schedules. These lower
+// bounds can provide an estimate for a potential improvement of the
+// schedule by switching to a different algorithm." This package provides
+// exactly that estimate: workload-derived lower bounds on the makespan,
+// the average response time and the average weighted response time,
+// against which optimality gaps of measured schedules can be reported.
+//
+// All bounds are valid for any non-preemptive space-sharing schedule on
+// m identical nodes with release dates (submission times). Every bound
+// is a relaxation argument:
+//
+//   - Makespan: Graham-style area and critical-job arguments.
+//   - AvgResponseTime: SRPT on the squashed machine — drop the width
+//     constraint so a job of area a_j runs in a_j/m seconds at full
+//     speed; preemptive SRPT is optimal for total flow time on a single
+//     machine with release dates, so its cost lower-bounds every real
+//     schedule's total response time.
+//   - AvgWeightedResponseTime: each job's response is at least its own
+//     effective runtime, so Σ w_j p_j / n is a valid (deliberately
+//     conservative) bound; tighter weighted-flow bounds require LP
+//     machinery out of scope here.
+package bounds
+
+import (
+	"container/heap"
+
+	"jobsched/internal/job"
+)
+
+// Makespan returns a lower bound on the completion time of the last job:
+//
+//	max( max_j (r_j + p_j),  min_j r_j + totalArea / m )
+//
+// — no job can finish before its own release plus runtime, and the
+// machine cannot process work faster than m node-seconds per second
+// after the first release.
+func Makespan(jobs []*job.Job, machineNodes int) int64 {
+	if len(jobs) == 0 || machineNodes <= 0 {
+		return 0
+	}
+	var bound int64
+	minRelease := jobs[0].Submit
+	var area float64
+	for _, j := range jobs {
+		if end := j.Submit + j.EffectiveRuntime(); end > bound {
+			bound = end
+		}
+		if j.Submit < minRelease {
+			minRelease = j.Submit
+		}
+		area += float64(j.Nodes) * float64(j.EffectiveRuntime())
+	}
+	if ab := minRelease + int64(area/float64(machineNodes)); ab > bound {
+		bound = ab
+	}
+	return bound
+}
+
+// AvgResponseTime returns a lower bound on the average response time:
+// the larger of the per-job runtime bound (1/n) Σ_j p_j and the SRPT
+// squashed-machine relaxation (see the package comment).
+func AvgResponseTime(jobs []*job.Job, machineNodes int) float64 {
+	if len(jobs) == 0 || machineNodes <= 0 {
+		return 0
+	}
+	var sumRuntime float64
+	for _, j := range jobs {
+		sumRuntime += float64(j.EffectiveRuntime())
+	}
+	naive := sumRuntime / float64(len(jobs))
+	if sq := srptRelaxation(jobs, machineNodes); sq > naive {
+		return sq
+	}
+	return naive
+}
+
+// AvgWeightedResponseTime returns a lower bound on the average weighted
+// response time with weight = actual resource consumption (nodes ×
+// effective runtime): Σ w_j p_j / n.
+func AvgWeightedResponseTime(jobs []*job.Job, machineNodes int) float64 {
+	if len(jobs) == 0 || machineNodes <= 0 {
+		return 0
+	}
+	var naive float64
+	for _, j := range jobs {
+		w := float64(j.Nodes) * float64(j.EffectiveRuntime())
+		naive += w * float64(j.EffectiveRuntime())
+	}
+	return naive / float64(len(jobs))
+}
+
+// srptItem is a job in the SRPT relaxation's ready heap.
+type srptItem struct {
+	j         *job.Job
+	remaining float64 // node-seconds left
+}
+
+type srptHeap []*srptItem
+
+func (h srptHeap) Len() int { return len(h) }
+func (h srptHeap) Less(a, b int) bool {
+	if h[a].remaining != h[b].remaining {
+		return h[a].remaining < h[b].remaining
+	}
+	return h[a].j.ID < h[b].j.ID
+}
+func (h srptHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
+func (h *srptHeap) Push(x interface{}) { *h = append(*h, x.(*srptItem)) }
+func (h *srptHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// srptRelaxation simulates preemptive SRPT on the squashed machine
+// (areas served at rate m) and returns the mean response time, a valid
+// lower bound on any real schedule's (SRPT optimality for preemptive
+// total flow time on one machine with release dates).
+func srptRelaxation(jobs []*job.Job, machineNodes int) float64 {
+	sorted := job.SortBySubmit(job.CloneAll(jobs))
+	m := float64(machineNodes)
+	var (
+		ready srptHeap
+		t     float64
+		next  int
+		sum   float64
+	)
+	for next < len(sorted) || ready.Len() > 0 {
+		if ready.Len() == 0 {
+			if float64(sorted[next].Submit) > t {
+				t = float64(sorted[next].Submit)
+			}
+		}
+		for next < len(sorted) && float64(sorted[next].Submit) <= t {
+			j := sorted[next]
+			heap.Push(&ready, &srptItem{
+				j:         j,
+				remaining: float64(j.Nodes) * float64(j.EffectiveRuntime()),
+			})
+			next++
+		}
+		cur := ready[0]
+		finish := t + cur.remaining/m
+		if next < len(sorted) && float64(sorted[next].Submit) < finish {
+			// Serve until the next release, then re-evaluate (the new job
+			// may have less remaining area).
+			dt := float64(sorted[next].Submit) - t
+			cur.remaining -= dt * m
+			t = float64(sorted[next].Submit)
+			heap.Fix(&ready, 0)
+			continue
+		}
+		t = finish
+		sum += t - float64(cur.j.Submit)
+		heap.Pop(&ready)
+	}
+	return sum / float64(len(sorted))
+}
+
+// Gap reports the relative optimality gap of a measured cost against a
+// lower bound: (measured - bound) / bound. Zero bound yields 0.
+func Gap(measured, bound float64) float64 {
+	if bound <= 0 {
+		return 0
+	}
+	return (measured - bound) / bound
+}

@@ -1,0 +1,141 @@
+package bounds
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"jobsched/internal/job"
+	"jobsched/internal/objective"
+	"jobsched/internal/sched"
+	"jobsched/internal/sim"
+)
+
+func mk(id int, submit, runtime int64, nodes int) *job.Job {
+	return &job.Job{ID: job.ID(id), Submit: submit, Runtime: runtime,
+		Estimate: runtime, Nodes: nodes}
+}
+
+func TestMakespanBoundComponents(t *testing.T) {
+	// Critical job: released at 100, runs 50 → bound >= 150.
+	jobs := []*job.Job{mk(0, 100, 50, 1)}
+	if got := Makespan(jobs, 4); got != 150 {
+		t.Errorf("critical-job bound = %d, want 150", got)
+	}
+	// Area bound: 4 jobs × 4 nodes × 100 s on 4 nodes → >= 400.
+	jobs = []*job.Job{
+		mk(0, 0, 100, 4), mk(1, 0, 100, 4), mk(2, 0, 100, 4), mk(3, 0, 100, 4),
+	}
+	if got := Makespan(jobs, 4); got != 400 {
+		t.Errorf("area bound = %d, want 400", got)
+	}
+}
+
+func TestAvgResponseBoundSingleJob(t *testing.T) {
+	jobs := []*job.Job{mk(0, 0, 100, 2)}
+	// One job alone: the bound equals its runtime... the squashed
+	// relaxation gives area/m = 200/4 = 50 < 100 → runtime bound wins.
+	if got := AvgResponseTime(jobs, 4); got != 100 {
+		t.Errorf("bound = %v, want 100", got)
+	}
+}
+
+func TestBoundsEmptyAndDegenerate(t *testing.T) {
+	if Makespan(nil, 4) != 0 || AvgResponseTime(nil, 4) != 0 ||
+		AvgWeightedResponseTime(nil, 4) != 0 {
+		t.Error("empty workload bounds must be 0")
+	}
+	jobs := []*job.Job{mk(0, 0, 10, 1)}
+	if Makespan(jobs, 0) != 0 {
+		t.Error("zero machine")
+	}
+}
+
+func TestGap(t *testing.T) {
+	if got := Gap(150, 100); got != 0.5 {
+		t.Errorf("Gap = %v", got)
+	}
+	if Gap(100, 0) != 0 {
+		t.Error("zero bound gap")
+	}
+}
+
+// TestBoundsHoldForAllAlgorithms is the soundness property: every
+// algorithm's measured cost must be at or above every bound, on many
+// random workloads.
+func TestBoundsHoldForAllAlgorithms(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		const nodes = 8
+		n := 40 + r.Intn(60)
+		jobs := make([]*job.Job, n)
+		var at int64
+		for i := range jobs {
+			at += int64(r.Intn(50))
+			jobs[i] = mk(i, at, int64(1+r.Intn(300)), 1+r.Intn(nodes))
+		}
+		lbResp := AvgResponseTime(jobs, nodes)
+		lbWResp := AvgWeightedResponseTime(jobs, nodes)
+		lbMk := Makespan(jobs, nodes)
+
+		for _, o := range sched.GridOrders() {
+			alg, err := sched.New(o, sched.StartEASY, sched.Config{MachineNodes: nodes})
+			if err != nil {
+				return false
+			}
+			res, err := sim.Run(sim.Machine{Nodes: nodes}, job.CloneAll(jobs), alg,
+				sim.Options{Validate: true})
+			if err != nil {
+				return false
+			}
+			s := res.Schedule
+			if (objective.AvgResponseTime{}).Eval(s)+1e-6 < lbResp {
+				t.Logf("seed %d: %s broke the response bound", seed, o)
+				return false
+			}
+			if (objective.AvgWeightedResponseTime{}).Eval(s)+1e-6 < lbWResp {
+				t.Logf("seed %d: %s broke the weighted bound", seed, o)
+				return false
+			}
+			if float64(s.Makespan()) < float64(lbMk) {
+				t.Logf("seed %d: %s broke the makespan bound", seed, o)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{
+		MaxCount: 25,
+		Rand:     rand.New(rand.NewSource(2)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSRPTRelaxationExactOnSerialWorkload pins the relaxation on a
+// hand-checked instance: two jobs at time 0, areas 8 and 16 on a 4-node
+// machine → SRPT serves the small one first (finish 2), then the large
+// one (finish 6). Mean response = (2+6)/2 = 4.
+func TestSRPTRelaxationExactOnSerialWorkload(t *testing.T) {
+	jobs := []*job.Job{
+		mk(0, 0, 2, 4), // area 8
+		mk(1, 0, 4, 4), // area 16
+	}
+	if got := srptRelaxation(jobs, 4); got != 4 {
+		t.Errorf("relaxation = %v, want 4", got)
+	}
+}
+
+// TestSRPTRelaxationPreempts verifies the preemption path: a large job
+// at 0, a tiny one released mid-service.
+func TestSRPTRelaxationPreempts(t *testing.T) {
+	jobs := []*job.Job{
+		mk(0, 0, 100, 4), // area 400, alone would finish at 100
+		mk(1, 10, 1, 4),  // area 4, arrives at 10 with less remaining
+	}
+	// SRPT: serve 0 on [0,10) (remaining 360), preempt for 1 on [10,11),
+	// resume 0 until 11+90=101. Responses: 101 and 1 → mean 51.
+	if got := srptRelaxation(jobs, 4); got != 51 {
+		t.Errorf("relaxation = %v, want 51", got)
+	}
+}

@@ -1,0 +1,83 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"jobsched/internal/trace"
+	"jobsched/internal/workload"
+)
+
+func TestLoadGeneratedKinds(t *testing.T) {
+	for _, kind := range []string{"ctc", "prob", "random", "feitelson"} {
+		jobs, _, err := Load(LoadOptions{Kind: kind, Jobs: 500, MachineNodes: 256, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(jobs) == 0 {
+			t.Fatalf("%s: no jobs", kind)
+		}
+		for _, j := range jobs {
+			if j.Nodes > 256 {
+				t.Fatalf("%s: job wider than machine", kind)
+			}
+		}
+	}
+}
+
+func TestLoadCTCFiltersWideJobs(t *testing.T) {
+	jobs, removed, err := Load(LoadOptions{Kind: "ctc", Jobs: 20000, MachineNodes: 256, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Error("no wide jobs removed from the CTC model at this size")
+	}
+	if len(jobs)+removed != 20000 {
+		t.Errorf("jobs %d + removed %d != 20000", len(jobs), removed)
+	}
+}
+
+func TestLoadSWFRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.swf")
+	cfg := workload.DefaultRandomizedConfig()
+	cfg.Jobs = 200
+	src := workload.Randomized(cfg)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Write(f, trace.Header{Computer: "test"}, src); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	jobs, _, err := Load(LoadOptions{Kind: "swf", Path: path, MachineNodes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 200 {
+		t.Fatalf("loaded %d jobs", len(jobs))
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []LoadOptions{
+		{Kind: "ctc", Jobs: 100},                             // no machine
+		{Kind: "nope", Jobs: 100, MachineNodes: 4},           // unknown kind
+		{Kind: "ctc", MachineNodes: 4},                       // no jobs
+		{Kind: "prob", MachineNodes: 4},                      // no jobs
+		{Kind: "random", MachineNodes: 4},                    // no jobs
+		{Kind: "feitelson", MachineNodes: 4},                 // no jobs
+		{Kind: "swf", MachineNodes: 4},                       // no path
+		{Kind: "swf", Path: "/nonexistent", MachineNodes: 4}, // missing file
+	}
+	for _, c := range cases {
+		if _, _, err := Load(c); err == nil {
+			t.Errorf("no error for %+v", c)
+		}
+	}
+}

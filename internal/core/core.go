@@ -1,0 +1,72 @@
+// Package core is the high-level facade of the jobsched library: it ties
+// together workload generation, algorithm construction, simulation and
+// evaluation so that applications (the examples and commands of this
+// repository) need a single import.
+//
+// The paper's three-component view of a scheduling system — scheduling
+// policy, objective function, scheduling algorithm — maps onto this API
+// as follows: the *policy* is expressed by choosing an objective
+// (eval.Case or any objective.Metric) and constraints; the *objective
+// function* lives in internal/objective; the *algorithm* is one cell of
+// the order × start grid in internal/sched.
+package core
+
+import (
+	"jobsched/internal/eval"
+	"jobsched/internal/job"
+	"jobsched/internal/objective"
+	"jobsched/internal/sched"
+	"jobsched/internal/sim"
+)
+
+// Machine re-exports the machine model.
+type Machine = sim.Machine
+
+// Job re-exports the job model.
+type Job = job.Job
+
+// Result bundles one simulation's schedule and headline metrics.
+type Result struct {
+	Schedule            *sim.Schedule
+	AvgResponse         float64
+	AvgWeightedResponse float64
+	AvgWait             float64
+	Makespan            int64
+	Utilization         float64
+	MaxQueue            int
+}
+
+// NewScheduler builds one algorithm from the paper's grid. Order is one
+// of FCFS, PSRS, SMART-FFIA, SMART-NFIW, Garey&Graham; start is one of
+// List, Backfilling (conservative), EASY-Backfilling. weighted selects
+// the scheduling weight used by SMART and PSRS.
+func NewScheduler(order sched.OrderName, start sched.StartName, machineNodes int, weighted bool) (sim.Scheduler, error) {
+	w := job.UnitWeight
+	if weighted {
+		w = job.AreaWeight
+	}
+	return sched.New(order, start, sched.Config{MachineNodes: machineNodes, Weight: w})
+}
+
+// Simulate runs one scheduler over a workload and summarizes the outcome.
+func Simulate(m Machine, jobs []*Job, s sim.Scheduler) (*Result, error) {
+	res, err := sim.Run(m, jobs, s, sim.Options{Validate: true})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Schedule:            res.Schedule,
+		AvgResponse:         objective.AvgResponseTime{}.Eval(res.Schedule),
+		AvgWeightedResponse: objective.AvgWeightedResponseTime{}.Eval(res.Schedule),
+		AvgWait:             objective.AvgWaitTime{}.Eval(res.Schedule),
+		Makespan:            res.Schedule.Makespan(),
+		Utilization:         objective.Utilization{}.Eval(res.Schedule),
+		MaxQueue:            res.MaxQueue,
+	}, nil
+}
+
+// Grid runs the paper's full algorithm grid over a workload for the
+// unweighted or weighted objective.
+func Grid(title string, m Machine, jobs []*Job, c eval.Case, parallel bool) (*eval.Grid, error) {
+	return eval.Run(title, m, jobs, c, eval.Options{Parallel: parallel, Validate: true})
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"jobsched/internal/eval"
+	"jobsched/internal/sched"
+	"jobsched/internal/workload"
+)
+
+func testJobs(n int) []*Job {
+	cfg := workload.DefaultRandomizedConfig()
+	cfg.Jobs = n
+	cfg.Seed = 3
+	return workload.Randomized(cfg)
+}
+
+func TestNewSchedulerAllGridCells(t *testing.T) {
+	for _, o := range sched.GridOrders() {
+		for _, s := range sched.GridStarts() {
+			for _, weighted := range []bool{false, true} {
+				alg, err := NewScheduler(o, s, 256, weighted)
+				if err != nil {
+					t.Fatalf("%s/%s weighted=%v: %v", o, s, weighted, err)
+				}
+				if alg.Name() == "" {
+					t.Error("empty name")
+				}
+			}
+		}
+	}
+}
+
+func TestNewSchedulerRejectsUnknown(t *testing.T) {
+	if _, err := NewScheduler("bogus", sched.StartList, 256, false); err == nil {
+		t.Error("bogus order accepted")
+	}
+}
+
+func TestSimulateMetricsConsistent(t *testing.T) {
+	jobs := testJobs(500)
+	alg, err := NewScheduler(sched.OrderFCFS, sched.StartEASY, 256, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(Machine{Nodes: 256}, jobs, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Schedule.Allocs) != len(jobs) {
+		t.Fatalf("%d allocs for %d jobs", len(res.Schedule.Allocs), len(jobs))
+	}
+	if res.AvgResponse < res.AvgWait {
+		t.Error("response time below wait time")
+	}
+	if res.Makespan <= 0 {
+		t.Error("zero makespan")
+	}
+	if res.Utilization <= 0 || res.Utilization > 1 {
+		t.Errorf("utilization = %v", res.Utilization)
+	}
+	if res.AvgWeightedResponse <= 0 {
+		t.Error("weighted response missing")
+	}
+}
+
+func TestGridFacade(t *testing.T) {
+	jobs := testJobs(300)
+	g, err := Grid("facade", Machine{Nodes: 256}, jobs, eval.Unweighted, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Cells) != 13 {
+		t.Fatalf("%d cells", len(g.Cells))
+	}
+	if g.Ref == nil {
+		t.Fatal("no reference cell")
+	}
+}

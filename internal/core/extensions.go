@@ -1,0 +1,82 @@
+package core
+
+import (
+	"jobsched/internal/analysis"
+	"jobsched/internal/bounds"
+	"jobsched/internal/gang"
+	"jobsched/internal/moldable"
+	"jobsched/internal/objective"
+	"jobsched/internal/sched"
+	"jobsched/internal/sim"
+)
+
+// NewSwitchingScheduler builds the day/night combination scheduler
+// (Example 5's rules 5 and 6 served by different algorithms; the
+// combination experiment the paper's administrator leaves open). The day
+// regime runs during 7am–8pm weekdays.
+func NewSwitchingScheduler(dayOrder sched.OrderName, dayStart sched.StartName,
+	nightOrder sched.OrderName, nightStart sched.StartName, machineNodes int) (sim.Scheduler, error) {
+	return sched.NewSwitching(objective.PrimeTime, dayOrder, dayStart,
+		nightOrder, nightStart, sched.Config{MachineNodes: machineNodes})
+}
+
+// NewReservedScheduler wraps a grid algorithm with a hard
+// advance-reservation calendar (Section 2's metacomputing feature): the
+// reserved nodes are provably free during every reserved window.
+func NewReservedScheduler(order sched.OrderName, start sched.StartName,
+	machineNodes int, reservations []sched.AdvanceReservation) (sim.Scheduler, error) {
+	cal, err := sched.NewCalendar(machineNodes, reservations)
+	if err != nil {
+		return nil, err
+	}
+	base, err := sched.New(order, start, sched.Config{MachineNodes: machineNodes})
+	if err != nil {
+		return nil, err
+	}
+	return sched.WrapStarter(base, func(st sched.Starter) sched.Starter {
+		return sched.NewReservedStarter(st, cal)
+	}), nil
+}
+
+// GangSimulate runs the gang-scheduled (time-sharing) machine model
+// (paper reference [15]) over a workload: FCFS dispatch into up to
+// maxLevels time-sharing levels with the given context-switch overhead.
+func GangSimulate(machineNodes, maxLevels int, overhead float64, jobs []*Job) (*gang.Result, error) {
+	return gang.Simulate(gang.Config{
+		Nodes: machineNodes, MaxLevels: maxLevels, Overhead: overhead,
+	}, jobs)
+}
+
+// MoldableSimulate remolds a rigid workload (Example 3's adaptive
+// partitioning) and schedules it with the adaptive FCFS policy.
+func MoldableSimulate(machineNodes int, jobs []*Job, policy moldable.WidthPolicy, seed int64) (*Result, error) {
+	w, err := moldable.FromRigid(jobs, machineNodes, 2, 0.005, 0.2, seed)
+	if err != nil {
+		return nil, err
+	}
+	return Simulate(Machine{Nodes: machineNodes}, w.Jobs, moldable.NewAdaptive(w, policy, machineNodes))
+}
+
+// LowerBounds returns the theoretical minimums (Section 2.3) for a
+// workload on a machine: average response time, average weighted
+// response time, and makespan.
+func LowerBounds(jobs []*Job, machineNodes int) (avgResponse, avgWeighted float64, makespan int64) {
+	return bounds.AvgResponseTime(jobs, machineNodes),
+		bounds.AvgWeightedResponseTime(jobs, machineNodes),
+		bounds.Makespan(jobs, machineNodes)
+}
+
+// Series bundles the schedule time series used by figures and reports.
+type Series struct {
+	Utilization []analysis.Sample
+	Backlog     []analysis.Sample
+}
+
+// ScheduleSeries derives the utilization and backlog curves of a
+// completed schedule.
+func ScheduleSeries(s *sim.Schedule) Series {
+	return Series{
+		Utilization: analysis.UtilizationSeries(s),
+		Backlog:     analysis.BacklogSeries(s),
+	}
+}

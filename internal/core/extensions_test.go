@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"jobsched/internal/moldable"
+	"jobsched/internal/sched"
+)
+
+func TestNewSwitchingSchedulerFacade(t *testing.T) {
+	s, err := NewSwitchingScheduler(sched.OrderSMARTFFIA, sched.StartEASY,
+		sched.OrderGG, sched.StartList, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(Machine{Nodes: 256}, testJobs(300), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Schedule.Allocs) != 300 {
+		t.Fatalf("%d jobs completed", len(res.Schedule.Allocs))
+	}
+}
+
+func TestNewReservedSchedulerFacade(t *testing.T) {
+	jobs := testJobs(200)
+	res := []sched.AdvanceReservation{
+		{Name: "site", Nodes: 128, Start: 50000, End: 80000},
+	}
+	s, err := NewReservedScheduler(sched.OrderFCFS, sched.StartEASY, 256, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Simulate(Machine{Nodes: 256}, jobs, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reservation is hard: during [50000, 80000) at most 128 nodes
+	// may ever be in use.
+	for _, a := range out.Schedule.Allocs {
+		if a.Start < 80000 && a.End > 50000 {
+			lo := a.Start
+			if lo < 50000 {
+				lo = 50000
+			}
+			used := 0
+			for _, b := range out.Schedule.Allocs {
+				if b.Start <= lo && lo < b.End {
+					used += b.Job.Nodes
+				}
+			}
+			if used > 128 {
+				t.Fatalf("reservation violated: %d nodes in use at %d", used, lo)
+			}
+		}
+	}
+	// Invalid calendar propagates.
+	if _, err := NewReservedScheduler(sched.OrderFCFS, sched.StartEASY, 256,
+		[]sched.AdvanceReservation{{Nodes: 500, Start: 0, End: 10}}); err == nil {
+		t.Error("invalid calendar accepted")
+	}
+}
+
+func TestGangSimulateFacade(t *testing.T) {
+	res, err := GangSimulate(256, 2, 0.05, testJobs(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Allocs) != 200 {
+		t.Fatalf("%d allocs", len(res.Allocs))
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoldableSimulateFacade(t *testing.T) {
+	res, err := MoldableSimulate(256, testJobs(200), moldable.EfficiencyCap, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Schedule.Allocs) != 200 {
+		t.Fatalf("%d allocs", len(res.Schedule.Allocs))
+	}
+}
+
+func TestLowerBoundsFacade(t *testing.T) {
+	jobs := testJobs(100)
+	resp, wresp, mk := LowerBounds(jobs, 256)
+	if resp <= 0 || wresp <= 0 || mk <= 0 {
+		t.Fatalf("bounds = %v %v %v", resp, wresp, mk)
+	}
+}
+
+func TestScheduleSeriesFacade(t *testing.T) {
+	s, err := NewScheduler(sched.OrderFCFS, sched.StartEASY, 256, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(Machine{Nodes: 256}, testJobs(100), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := ScheduleSeries(res.Schedule)
+	if len(series.Utilization) == 0 || len(series.Backlog) == 0 {
+		t.Fatal("empty series")
+	}
+}

@@ -1,0 +1,60 @@
+package eval
+
+import (
+	"testing"
+
+	"jobsched/internal/sim"
+	"jobsched/internal/workload"
+)
+
+// TestGridDeterminism: two grid runs over the same workload must agree
+// cell by cell — the foundation of the paper's comparative methodology
+// ("it is possible to compare different schedules if the same objective
+// function and the same set of jobs is used").
+func TestGridDeterminism(t *testing.T) {
+	cfg := workload.DefaultRandomizedConfig()
+	cfg.Jobs = 300
+	cfg.Seed = 77
+	jobs := workload.Randomized(cfg)
+	run := func() *Grid {
+		g, err := Run("det", sim.Machine{Nodes: 256}, jobs, Unweighted,
+			Options{Parallel: true, Validate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	a, b := run(), run()
+	for i := range a.Cells {
+		ca := a.Cells[i]
+		cb := b.Cell(ca.Order, ca.Start)
+		if cb == nil || ca.Value != cb.Value || ca.Makespan != cb.Makespan {
+			t.Fatalf("%s/%s nondeterministic: %v vs %v", ca.Order, ca.Start, ca.Value, cb)
+		}
+	}
+}
+
+// TestGridLowerBoundHolds: the theoretical bound must sit below every
+// cell for both cases.
+func TestGridLowerBoundHolds(t *testing.T) {
+	cfg := workload.DefaultRandomizedConfig()
+	cfg.Jobs = 300
+	cfg.Seed = 78
+	jobs := workload.Randomized(cfg)
+	for _, c := range []Case{Unweighted, Weighted} {
+		g, err := Run("bound", sim.Machine{Nodes: 256}, jobs, c,
+			Options{Parallel: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.LowerBound <= 0 {
+			t.Fatalf("%s: no lower bound computed", c)
+		}
+		for _, cell := range g.Cells {
+			if cell.Value < g.LowerBound {
+				t.Errorf("%s: %s/%s value %.4g below bound %.4g",
+					c, cell.Order, cell.Start, cell.Value, g.LowerBound)
+			}
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package eval
+
+import (
+	"testing"
+
+	"jobsched/internal/job"
+	"jobsched/internal/objective"
+	"jobsched/internal/sched"
+	"jobsched/internal/sim"
+	"jobsched/internal/workload"
+)
+
+// TestAllAlgorithmsSurviveFailureInjection drives every grid algorithm
+// through a workload with injected hardware outages (Section 2's
+// uncontrollable influences) and checks that all jobs still complete,
+// schedules stay valid, and the cost of failures is visible (response
+// time not better than the failure-free run).
+func TestAllAlgorithmsSurviveFailureInjection(t *testing.T) {
+	cfg := workload.DefaultRandomizedConfig()
+	cfg.Jobs = 300
+	cfg.Seed = 99
+	jobs := workload.Randomized(cfg)
+	_, last := job.Span(jobs)
+	failures := []sim.Failure{
+		{At: last / 10, Nodes: 128, Duration: 7200},
+		{At: last / 3, Nodes: 256, Duration: 3600},
+		{At: last / 2, Nodes: 64, Duration: 86400},
+	}
+	metric := objective.AvgResponseTime{}
+
+	for _, o := range sched.GridOrders() {
+		for _, st := range sched.GridStarts() {
+			alg, err := sched.New(o, st, sched.Config{MachineNodes: 256})
+			if err != nil {
+				t.Fatal(err)
+			}
+			broken, err := sim.Run(sim.Machine{Nodes: 256}, job.CloneAll(jobs), alg,
+				sim.Options{Validate: true, Failures: failures})
+			if err != nil {
+				t.Fatalf("%s/%s with failures: %v", o, st, err)
+			}
+			completed := 0
+			for _, a := range broken.Schedule.Allocs {
+				if !a.Aborted {
+					completed++
+				}
+			}
+			if completed != len(jobs) {
+				t.Fatalf("%s/%s: %d of %d jobs completed under failures",
+					o, st, completed, len(jobs))
+			}
+
+			alg2, err := sched.New(o, st, sched.Config{MachineNodes: 256})
+			if err != nil {
+				t.Fatal(err)
+			}
+			clean, err := sim.Run(sim.Machine{Nodes: 256}, job.CloneAll(jobs), alg2,
+				sim.Options{Validate: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Failures normally hurt, but Graham-type scheduling anomalies
+			// allow small accidental improvements (an aborted job re-queues
+			// in a luckier position); flag only substantial ones.
+			if metric.Eval(broken.Schedule) < metric.Eval(clean.Schedule)*0.90 {
+				t.Errorf("%s/%s: failures improved the schedule substantially (%.0f vs %.0f)",
+					o, st, metric.Eval(broken.Schedule), metric.Eval(clean.Schedule))
+			}
+		}
+	}
+}

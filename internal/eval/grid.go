@@ -1,0 +1,229 @@
+// Package eval runs the paper's evaluation grid — order policies ×
+// start policies over a workload for an objective — and renders the
+// results in the layout of Tables 3–8, including percentages relative to
+// the FCFS/EASY reference cell ("the administrator selects the simulation
+// of FCFS with EASY backfilling to be a reference value as this algorithm
+// is used by the CTC").
+package eval
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"jobsched/internal/bounds"
+	"jobsched/internal/job"
+	"jobsched/internal/objective"
+	"jobsched/internal/sched"
+	"jobsched/internal/sim"
+)
+
+// Case selects the objective flavor of a grid run.
+type Case int
+
+const (
+	// Unweighted is the average response time objective (daytime rule).
+	Unweighted Case = iota
+	// Weighted is the average weighted response time objective
+	// (night/weekend rule; weight = resource consumption).
+	Weighted
+)
+
+func (c Case) String() string {
+	if c == Unweighted {
+		return "Unweighted"
+	}
+	return "Weighted"
+}
+
+// Metric returns the objective function of the case.
+func (c Case) Metric() objective.Metric {
+	if c == Unweighted {
+		return objective.AvgResponseTime{}
+	}
+	return objective.AvgWeightedResponseTime{}
+}
+
+// WeightFunc returns the scheduling weight SMART/PSRS use for the case.
+func (c Case) WeightFunc() job.WeightFunc {
+	if c == Unweighted {
+		return job.UnitWeight
+	}
+	return job.AreaWeight
+}
+
+// Cell is one algorithm's result in a grid.
+type Cell struct {
+	Order sched.OrderName
+	Start sched.StartName
+	// Value is the objective value (seconds or weighted seconds).
+	Value float64
+	// Pct is the deviation from the reference cell in percent
+	// (negative = better, as in the paper's tables).
+	Pct float64
+	// SchedulerTime is the computation time spent inside the scheduler
+	// (Tables 7–8; only meaningful for serial, measured runs).
+	SchedulerTime time.Duration
+	// MaxQueue is the largest backlog observed.
+	MaxQueue int
+	// Makespan and Utilization are auxiliary diagnostics.
+	Makespan    int64
+	Utilization float64
+}
+
+// Grid holds the full result of one table's simulations.
+type Grid struct {
+	Title    string
+	Case     Case
+	Machine  sim.Machine
+	Jobs     int
+	Cells    []Cell
+	Ref      *Cell // the FCFS/EASY reference cell
+	Duration time.Duration
+	// LowerBound is the theoretical lower bound on the case's objective
+	// for this workload (Section 2.3's potential-improvement estimate);
+	// every cell's Value is provably at or above it.
+	LowerBound float64
+}
+
+// Options tune a grid run.
+type Options struct {
+	// Parallel runs the independent cells concurrently. Leave false when
+	// SchedulerTime must be comparable across cells (Tables 7–8).
+	Parallel bool
+	// MeasureCPU enables scheduler computation-time capture.
+	MeasureCPU bool
+	// Validate re-checks every produced schedule.
+	Validate bool
+	// MaxBackfillDepth bounds the conservative starter (0 = unlimited).
+	MaxBackfillDepth int
+	// FastConservative selects the horizon-accelerated conservative walk
+	// for paper-scale saturated runs (see sched.Config.FastConservative).
+	FastConservative bool
+	// Orders/Starts override the paper grid (nil = paper grid).
+	Orders []sched.OrderName
+	Starts []sched.StartName
+}
+
+// gridCells enumerates the (order, start) pairs of the paper's tables:
+// every order × every start policy, except Garey&Graham which appears
+// only in the list column (backfilling is of no benefit to it).
+func gridCells(orders []sched.OrderName, starts []sched.StartName) [][2]interface{} {
+	var cells [][2]interface{}
+	for _, o := range orders {
+		if o == sched.OrderGG {
+			cells = append(cells, [2]interface{}{o, sched.StartList})
+			continue
+		}
+		for _, s := range starts {
+			cells = append(cells, [2]interface{}{o, s})
+		}
+	}
+	return cells
+}
+
+// Run simulates the grid over the workload. Every cell gets a fresh
+// deep-copied workload so schedulers cannot interfere through shared job
+// pointers.
+func Run(title string, m sim.Machine, jobs []*job.Job, c Case, opt Options) (*Grid, error) {
+	orders := opt.Orders
+	if orders == nil {
+		orders = sched.GridOrders()
+	}
+	starts := opt.Starts
+	if starts == nil {
+		starts = sched.GridStarts()
+	}
+	cells := gridCells(orders, starts)
+	g := &Grid{Title: title, Case: c, Machine: m, Jobs: len(jobs)}
+	g.Cells = make([]Cell, len(cells))
+	if c == Unweighted {
+		g.LowerBound = bounds.AvgResponseTime(jobs, m.Nodes)
+	} else {
+		g.LowerBound = bounds.AvgWeightedResponseTime(jobs, m.Nodes)
+	}
+
+	t0 := time.Now()
+	metric := c.Metric()
+	cfg := sched.Config{
+		MachineNodes:     m.Nodes,
+		Weight:           c.WeightFunc(),
+		MaxBackfillDepth: opt.MaxBackfillDepth,
+		FastConservative: opt.FastConservative,
+	}
+
+	runCell := func(i int) error {
+		o := cells[i][0].(sched.OrderName)
+		s := cells[i][1].(sched.StartName)
+		alg, err := sched.New(o, s, cfg)
+		if err != nil {
+			return err
+		}
+		res, err := sim.Run(m, job.CloneAll(jobs), alg, sim.Options{
+			Validate:   opt.Validate,
+			MeasureCPU: opt.MeasureCPU,
+		})
+		if err != nil {
+			return fmt.Errorf("eval: %s/%s: %w", o, s, err)
+		}
+		g.Cells[i] = Cell{
+			Order:         o,
+			Start:         s,
+			Value:         metric.Eval(res.Schedule),
+			SchedulerTime: res.SchedulerTime,
+			MaxQueue:      res.MaxQueue,
+			Makespan:      res.Schedule.Makespan(),
+			Utilization:   objective.Utilization{}.Eval(res.Schedule),
+		}
+		return nil
+	}
+
+	if opt.Parallel {
+		var wg sync.WaitGroup
+		errs := make([]error, len(cells))
+		for i := range cells {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = runCell(i)
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for i := range cells {
+			if err := runCell(i); err != nil {
+				return nil, err
+			}
+		}
+	}
+	g.Duration = time.Since(t0)
+
+	// Reference: FCFS with EASY backfilling.
+	for i := range g.Cells {
+		if g.Cells[i].Order == sched.OrderFCFS && g.Cells[i].Start == sched.StartEASY {
+			g.Ref = &g.Cells[i]
+			break
+		}
+	}
+	if g.Ref != nil && g.Ref.Value != 0 {
+		for i := range g.Cells {
+			g.Cells[i].Pct = (g.Cells[i].Value - g.Ref.Value) / g.Ref.Value * 100
+		}
+	}
+	return g, nil
+}
+
+// Cell returns the cell for (order, start), or nil.
+func (g *Grid) Cell(o sched.OrderName, s sched.StartName) *Cell {
+	for i := range g.Cells {
+		if g.Cells[i].Order == o && g.Cells[i].Start == s {
+			return &g.Cells[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"jobsched/internal/job"
+	"jobsched/internal/sched"
+	"jobsched/internal/sim"
+	"jobsched/internal/workload"
+)
+
+var mockJob = job.Job{ID: 1, Nodes: 4, Estimate: 100, Runtime: 50}
+
+func smallGrid(t *testing.T, c Case, opt Options) *Grid {
+	t.Helper()
+	cfg := workload.DefaultRandomizedConfig()
+	cfg.Jobs = 400
+	cfg.Seed = 42
+	jobs := workload.Randomized(cfg)
+	g, err := Run("test", sim.Machine{Nodes: 256}, jobs, c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRunGridHasAllCells(t *testing.T) {
+	g := smallGrid(t, Unweighted, Options{Parallel: true, Validate: true})
+	// 4 orders × 3 starts + G&G list = 13 cells.
+	if len(g.Cells) != 13 {
+		t.Fatalf("got %d cells, want 13", len(g.Cells))
+	}
+	for _, o := range sched.GridOrders() {
+		starts := sched.GridStarts()
+		if o == sched.OrderGG {
+			starts = []sched.StartName{sched.StartList}
+		}
+		for _, s := range starts {
+			if g.Cell(o, s) == nil {
+				t.Errorf("missing cell %s/%s", o, s)
+			}
+		}
+	}
+	if g.Cell(sched.OrderGG, sched.StartEASY) != nil {
+		t.Error("G&G must not have an EASY cell")
+	}
+}
+
+func TestRunGridReferenceIsFCFSEASY(t *testing.T) {
+	g := smallGrid(t, Unweighted, Options{Parallel: true})
+	if g.Ref == nil {
+		t.Fatal("no reference cell")
+	}
+	if g.Ref.Order != sched.OrderFCFS || g.Ref.Start != sched.StartEASY {
+		t.Fatalf("reference = %s/%s", g.Ref.Order, g.Ref.Start)
+	}
+	if g.Ref.Pct != 0 {
+		t.Errorf("reference pct = %v, want 0", g.Ref.Pct)
+	}
+}
+
+func TestRunGridPctConsistency(t *testing.T) {
+	g := smallGrid(t, Weighted, Options{Parallel: true})
+	for _, c := range g.Cells {
+		want := (c.Value - g.Ref.Value) / g.Ref.Value * 100
+		if diff := c.Pct - want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%s/%s pct = %v, want %v", c.Order, c.Start, c.Pct, want)
+		}
+	}
+}
+
+func TestRunGridSerialEqualsParallel(t *testing.T) {
+	a := smallGrid(t, Unweighted, Options{Parallel: true})
+	b := smallGrid(t, Unweighted, Options{Parallel: false})
+	for i := range a.Cells {
+		ca := a.Cells[i]
+		cb := b.Cell(ca.Order, ca.Start)
+		if cb == nil || ca.Value != cb.Value {
+			t.Fatalf("%s/%s differs between serial and parallel runs", ca.Order, ca.Start)
+		}
+	}
+}
+
+func TestCaseAccessors(t *testing.T) {
+	if Unweighted.String() != "Unweighted" || Weighted.String() != "Weighted" {
+		t.Error("case names")
+	}
+	if Unweighted.Metric().Name() != "average response time" {
+		t.Error("unweighted metric")
+	}
+	if Weighted.Metric().Name() != "average weighted response time" {
+		t.Error("weighted metric")
+	}
+	mj := mockJob // copy to keep the package-level value pristine
+	j := &mj
+	if Unweighted.WeightFunc()(j) != 1 {
+		t.Error("unweighted weight")
+	}
+	if Weighted.WeightFunc()(j) != j.EstimatedArea() {
+		t.Error("weighted weight")
+	}
+}
+
+func TestRenderContainsAllRows(t *testing.T) {
+	g := smallGrid(t, Unweighted, Options{Parallel: true})
+	var buf bytes.Buffer
+	if err := g.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"FCFS", "PSRS", "SMART-FFIA", "SMART-NFIW",
+		"Garey&Graham", "EASY-Backfilling", "0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderComputeTime(t *testing.T) {
+	g := smallGrid(t, Unweighted, Options{MeasureCPU: true})
+	var buf bytes.Buffer
+	if err := g.RenderComputeTime(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"FCFS", "PSRS", "SMART", "Garey&Graham"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compute-time table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderComputeTimeWithoutMeasurementFails(t *testing.T) {
+	g := smallGrid(t, Unweighted, Options{Parallel: true})
+	var buf bytes.Buffer
+	if err := g.RenderComputeTime(&buf); err == nil {
+		t.Error("missing measurement not reported")
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	g := smallGrid(t, Unweighted, Options{Parallel: true})
+	var buf bytes.Buffer
+	if err := g.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+len(g.Cells) {
+		t.Fatalf("%d CSV lines, want %d", len(lines), 1+len(g.Cells))
+	}
+	if !strings.HasPrefix(lines[0], "order,start,") {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestFmtSci(t *testing.T) {
+	if got := fmtSci(4.91e6); got != "4.91E+06" {
+		t.Errorf("fmtSci = %q", got)
+	}
+}
+
+func TestFmtPct(t *testing.T) {
+	if got := fmtPct(12.3456, false); got != "+12.3%" {
+		t.Errorf("fmtPct = %q", got)
+	}
+	if got := fmtPct(-5, false); got != "-5.0%" {
+		t.Errorf("fmtPct = %q", got)
+	}
+	if got := fmtPct(99, true); got != "0%" {
+		t.Errorf("reference fmtPct = %q", got)
+	}
+}

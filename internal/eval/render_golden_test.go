@@ -1,0 +1,87 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"jobsched/internal/sched"
+	"jobsched/internal/sim"
+)
+
+// goldenGrid builds a grid with hand-set values so the exact rendered
+// layout (the paper's table format) can be pinned.
+func goldenGrid() *Grid {
+	g := &Grid{
+		Title:      "golden",
+		Case:       Unweighted,
+		Machine:    sim.Machine{Nodes: 256},
+		Jobs:       1000,
+		LowerBound: 1234,
+	}
+	add := func(o sched.OrderName, s sched.StartName, v float64, d time.Duration) {
+		g.Cells = append(g.Cells, Cell{Order: o, Start: s, Value: v, SchedulerTime: d})
+	}
+	add(sched.OrderFCFS, sched.StartList, 4910000, 100*time.Millisecond)
+	add(sched.OrderFCFS, sched.StartConservative, 670000, 150*time.Millisecond)
+	add(sched.OrderFCFS, sched.StartEASY, 395000, 200*time.Millisecond)
+	add(sched.OrderPSRS, sched.StartList, 159000, 300*time.Millisecond)
+	add(sched.OrderPSRS, sched.StartEASY, 106000, 250*time.Millisecond)
+	add(sched.OrderSMARTFFIA, sched.StartList, 157000, 120*time.Millisecond)
+	add(sched.OrderSMARTFFIA, sched.StartEASY, 117000, 130*time.Millisecond)
+	add(sched.OrderSMARTNFIW, sched.StartList, 182000, 110*time.Millisecond)
+	add(sched.OrderSMARTNFIW, sched.StartEASY, 111000, 140*time.Millisecond)
+	add(sched.OrderGG, sched.StartList, 146000, 90*time.Millisecond)
+	g.Ref = &g.Cells[2]
+	for i := range g.Cells {
+		g.Cells[i].Pct = (g.Cells[i].Value - g.Ref.Value) / g.Ref.Value * 100
+	}
+	return g
+}
+
+func TestRenderGoldenLayout(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenGrid().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Paper-style cells: scientific notation and signed percentages.
+	for _, want := range []string{
+		"4.91E+06", "+1143.0%", // FCFS list, the paper's exact headline pct
+		"3.95E+05", "0%", // the reference cell
+		"1.46E+05", "-63.0%", // Garey&Graham
+		"lower bound", "1.23E+03",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	// The G&G row must show dashes in the backfilling columns.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "Garey&Graham") && !strings.Contains(line, "-    ") {
+			t.Errorf("G&G row lacks placeholder dashes: %q", line)
+		}
+	}
+}
+
+func TestRenderComputeTimeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenGrid().RenderComputeTime(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// FCFS list = 100ms vs ref 200ms → -50.0%.
+	if !strings.Contains(out, "-50.0%") {
+		t.Errorf("compute table missing FCFS list pct:\n%s", out)
+	}
+	// SMART row merges FFIA and NFIW: list mean (120+110)/2 = 115ms →
+	// -42.5%.
+	if !strings.Contains(out, "-42.5%") {
+		t.Errorf("compute table missing merged SMART pct:\n%s", out)
+	}
+	// G&G 90ms → -55.0%.
+	if !strings.Contains(out, "-55.0%") {
+		t.Errorf("compute table missing G&G pct:\n%s", out)
+	}
+}

@@ -1,0 +1,33 @@
+package eval
+
+import (
+	"os"
+	"testing"
+
+	"jobsched/internal/sim"
+	"jobsched/internal/trace"
+	"jobsched/internal/workload"
+)
+
+// TestSmokeGrid runs the full grid on a small CTC-like workload and
+// renders the table — an end-to-end sanity check of the whole pipeline.
+func TestSmokeGrid(t *testing.T) {
+	cfg := workload.DefaultCTCConfig()
+	cfg.Jobs = 2000
+	cfg.SpanSeconds = cfg.SpanSeconds * int64(cfg.Jobs) / workload.CTCJobs
+	jobs := workload.CTC(cfg)
+	filtered, removed := trace.FilterMaxNodes(jobs, 256)
+	t.Logf("removed %d jobs wider than 256 nodes (%.3f%%)", removed,
+		float64(removed)/float64(len(jobs))*100)
+
+	for _, c := range []Case{Unweighted, Weighted} {
+		g, err := Run("smoke", sim.Machine{Nodes: 256}, filtered, c,
+			Options{Parallel: true, Validate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Render(os.Stderr); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package gang implements a gang-scheduled (time-sharing) machine model
+// and an FCFS gang scheduler, the extension the paper cites as [15]
+// (Schwiegelshohn/Yahyapour, "Improving first-come-first-serve job
+// scheduling by gang scheduling", JSSPP'98). The paper's Example 5
+// machine explicitly does *not* support time sharing — this package
+// provides the counterfactual: how much would time sharing have bought?
+//
+// Model: the machine runs up to MaxLevels time-sharing levels (rows of
+// the Ousterhout matrix). Jobs within one level space-share the nodes
+// exclusively; the levels time-share the whole machine in equal rotation,
+// so with L non-empty levels every running job progresses at rate 1/L.
+// MaxLevels = 1 degenerates to the paper's batch machine with strict
+// FCFS list scheduling — the package tests pin that equivalence against
+// the non-preemptive simulator.
+package gang
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"jobsched/internal/job"
+)
+
+// Config parameterizes the gang-scheduled machine.
+type Config struct {
+	// Nodes is the machine size.
+	Nodes int
+	// MaxLevels bounds the time-sharing degree (1 = batch machine).
+	MaxLevels int
+	// Overhead is the relative context-switch cost of time sharing: with
+	// L > 1 active levels every job's progress rate is (1-Overhead)/L.
+	// 0 = free switching (optimistic), typical hardware 0.01–0.1.
+	Overhead float64
+}
+
+// Allocation records one job's gang execution.
+type Allocation struct {
+	Job *job.Job
+	// Dispatch is the time the job was first placed into a level.
+	Dispatch int64
+	// End is the completion time under time sharing.
+	End int64
+	// Killed reports cancellation at the estimate limit (applied to the
+	// job's *dedicated* processing, as a batch machine would).
+	Killed bool
+}
+
+// Result is the outcome of a gang simulation.
+type Result struct {
+	Allocs []Allocation
+	// MaxLevelsUsed is the largest number of concurrently active levels.
+	MaxLevelsUsed int
+	// MaxQueue is the largest FCFS backlog.
+	MaxQueue int
+}
+
+// AvgResponseTime returns the mean of completion − submission.
+func (r *Result) AvgResponseTime() float64 {
+	if len(r.Allocs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, a := range r.Allocs {
+		sum += float64(a.End - a.Job.Submit)
+	}
+	return sum / float64(len(r.Allocs))
+}
+
+// runningJob is one dispatched job.
+type runningJob struct {
+	j         *job.Job
+	level     int
+	remaining float64 // dedicated seconds still needed
+	dispatch  int64
+	killed    bool
+}
+
+// Simulate runs the FCFS gang scheduler: jobs queue in submission order;
+// the queue head is dispatched as soon as *any* level (existing or new,
+// up to MaxLevels) has enough free nodes. The simulation is event-driven
+// with fractional progress: between events, L non-empty levels give
+// every running job progress rate (1-Overhead)/L (Overhead applies only
+// when L > 1).
+func Simulate(cfg Config, jobs []*job.Job) (*Result, error) {
+	if cfg.Nodes <= 0 || cfg.MaxLevels <= 0 {
+		return nil, fmt.Errorf("gang: need positive nodes and levels")
+	}
+	if cfg.Overhead < 0 || cfg.Overhead >= 1 {
+		return nil, fmt.Errorf("gang: overhead must be in [0,1)")
+	}
+	for _, j := range jobs {
+		if err := j.Validate(cfg.Nodes, false); err != nil {
+			return nil, err
+		}
+	}
+	arrivals := job.SortBySubmit(job.CloneAll(jobs))
+
+	var (
+		res      = &Result{Allocs: make([]Allocation, 0, len(jobs))}
+		queue    []*job.Job
+		running  []*runningJob
+		levelUse = make([]int, cfg.MaxLevels) // nodes used per level
+		next     int
+		t        float64
+	)
+
+	activeLevels := func() int {
+		L := 0
+		for _, u := range levelUse {
+			if u > 0 {
+				L++
+			}
+		}
+		if L == 0 {
+			return 1
+		}
+		return L
+	}
+	rate := func() float64 {
+		L := activeLevels()
+		if L == 1 {
+			return 1
+		}
+		return (1 - cfg.Overhead) / float64(L)
+	}
+
+	// dispatch places queue heads while they fit some level.
+	dispatch := func(now float64) {
+		for len(queue) > 0 {
+			head := queue[0]
+			placed := -1
+			for lv := 0; lv < cfg.MaxLevels; lv++ {
+				if levelUse[lv]+head.Nodes <= cfg.Nodes {
+					placed = lv
+					break
+				}
+			}
+			if placed < 0 {
+				return
+			}
+			levelUse[placed] += head.Nodes
+			running = append(running, &runningJob{
+				j: head, level: placed,
+				remaining: float64(head.EffectiveRuntime()),
+				dispatch:  int64(math.Ceil(now)),
+				killed:    head.Killed(),
+			})
+			queue = queue[1:]
+		}
+	}
+
+	advance := func(to float64) {
+		if to <= t {
+			return
+		}
+		dt := (to - t) * rate()
+		for _, r := range running {
+			r.remaining -= dt
+		}
+		t = to
+	}
+
+	complete := func() {
+		kept := running[:0]
+		for _, r := range running {
+			if r.remaining <= 1e-9 {
+				levelUse[r.level] -= r.j.Nodes
+				res.Allocs = append(res.Allocs, Allocation{
+					Job: r.j, Dispatch: r.dispatch,
+					End: int64(math.Ceil(t)), Killed: r.killed,
+				})
+			} else {
+				kept = append(kept, r)
+			}
+		}
+		running = kept
+	}
+
+	for next < len(arrivals) || len(running) > 0 || len(queue) > 0 {
+		// Next event: earliest of next arrival and earliest completion at
+		// the current rate.
+		nextT := math.Inf(1)
+		if next < len(arrivals) {
+			nextT = float64(arrivals[next].Submit)
+		}
+		if len(running) > 0 {
+			minRem := math.Inf(1)
+			for _, r := range running {
+				if r.remaining < minRem {
+					minRem = r.remaining
+				}
+			}
+			if c := t + minRem/rate(); c < nextT {
+				nextT = c
+			}
+		}
+		if math.IsInf(nextT, 1) {
+			// Queue non-empty but nothing running and no arrivals: the
+			// head must be dispatchable (it fits an empty level by
+			// validation), so this state is unreachable; guard anyway.
+			return nil, fmt.Errorf("gang: stalled with %d queued jobs", len(queue))
+		}
+		if nextT < t {
+			nextT = t
+		}
+		advance(nextT)
+		complete()
+		for next < len(arrivals) && float64(arrivals[next].Submit) <= t {
+			queue = append(queue, arrivals[next])
+			next++
+		}
+		dispatch(t)
+		if L := activeLevels(); L > res.MaxLevelsUsed {
+			res.MaxLevelsUsed = L
+		}
+		if len(queue) > res.MaxQueue {
+			res.MaxQueue = len(queue)
+		}
+	}
+
+	sort.Slice(res.Allocs, func(a, b int) bool {
+		return res.Allocs[a].Job.ID < res.Allocs[b].Job.ID
+	})
+	return res, nil
+}
+
+// Validate checks gang-machine constraints on a result: per-level
+// space-sharing is enforced during simulation; here we re-check the
+// response-time sanity every allocation must satisfy — a job can never
+// finish faster than its dedicated runtime after dispatch, and never
+// before its submission.
+func (r *Result) Validate() error {
+	for _, a := range r.Allocs {
+		if a.Dispatch < a.Job.Submit {
+			return fmt.Errorf("gang: %v dispatched before submission", a.Job)
+		}
+		if a.End-a.Dispatch+1 < a.Job.EffectiveRuntime() {
+			return fmt.Errorf("gang: %v finished after %d s, needs %d dedicated",
+				a.Job, a.End-a.Dispatch, a.Job.EffectiveRuntime())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,233 @@
+package gang
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"jobsched/internal/job"
+	"jobsched/internal/sched"
+	"jobsched/internal/sim"
+)
+
+func mk(id int, submit, runtime int64, nodes int) *job.Job {
+	return &job.Job{ID: job.ID(id), Submit: submit, Runtime: runtime,
+		Estimate: runtime, Nodes: nodes}
+}
+
+func TestSingleJobRunsDedicated(t *testing.T) {
+	res, err := Simulate(Config{Nodes: 4, MaxLevels: 4}, []*job.Job{mk(0, 0, 100, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Allocs[0].End; got != 100 {
+		t.Errorf("solo job end = %d, want 100 (no sharing penalty)", got)
+	}
+	if res.MaxLevelsUsed != 1 {
+		t.Errorf("levels used = %d", res.MaxLevelsUsed)
+	}
+}
+
+func TestTwoFullWidthJobsTimeShare(t *testing.T) {
+	// Two 4-node 100 s jobs on a 4-node machine with 2 levels: both run
+	// at rate 1/2 → both finish at 200 (vs 100 and 200 in batch; the
+	// *second* job is not helped but the machine is never idle-blocked).
+	jobs := []*job.Job{mk(0, 0, 100, 4), mk(1, 0, 100, 4)}
+	res, err := Simulate(Config{Nodes: 4, MaxLevels: 2}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Allocs {
+		if a.End != 200 {
+			t.Errorf("job %d end = %d, want 200", a.Job.ID, a.End)
+		}
+		if a.Dispatch != 0 {
+			t.Errorf("job %d dispatch = %d, want 0", a.Job.ID, a.Dispatch)
+		}
+	}
+	if res.MaxLevelsUsed != 2 {
+		t.Errorf("levels = %d", res.MaxLevelsUsed)
+	}
+}
+
+func TestGangHelpsShortJobBehindWideJob(t *testing.T) {
+	// The JSSPP'98 [15] effect: a short job stuck behind a wide long job
+	// under batch FCFS gets dispatched immediately with gang scheduling
+	// and finishes far earlier.
+	jobs := []*job.Job{
+		mk(0, 0, 10000, 4), // wide, long
+		mk(1, 1, 10, 4),    // wide, short — batch FCFS waits 10000 s
+	}
+	batch, err := Simulate(Config{Nodes: 4, MaxLevels: 1}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gang, err := Simulate(Config{Nodes: 4, MaxLevels: 2}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchEnd := endOf(batch, 1)
+	gangEnd := endOf(gang, 1)
+	if gangEnd >= batchEnd/10 {
+		t.Errorf("gang end %d not ≪ batch end %d", gangEnd, batchEnd)
+	}
+	if gang.AvgResponseTime() >= batch.AvgResponseTime() {
+		t.Errorf("gang avg response %.0f not better than batch %.0f",
+			gang.AvgResponseTime(), batch.AvgResponseTime())
+	}
+}
+
+func endOf(r *Result, id job.ID) int64 {
+	for _, a := range r.Allocs {
+		if a.Job.ID == id {
+			return a.End
+		}
+	}
+	return -1
+}
+
+func TestOverheadSlowsSharing(t *testing.T) {
+	jobs := []*job.Job{mk(0, 0, 100, 4), mk(1, 0, 100, 4)}
+	free, err := Simulate(Config{Nodes: 4, MaxLevels: 2}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costly, err := Simulate(Config{Nodes: 4, MaxLevels: 2, Overhead: 0.1}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costly.AvgResponseTime() <= free.AvgResponseTime() {
+		t.Errorf("overhead did not slow sharing: %.1f vs %.1f",
+			costly.AvgResponseTime(), free.AvgResponseTime())
+	}
+	// Rate (1-0.1)/2 → 100/0.45 ≈ 222.2 s.
+	if e := endOf(costly, 0); e != 223 && e != 222 {
+		t.Errorf("overhead end = %d, want ≈ 222", e)
+	}
+}
+
+func TestBatchModeMatchesNonPreemptiveFCFS(t *testing.T) {
+	// MaxLevels = 1 must reproduce the paper's machine exactly: strict
+	// FCFS list scheduling on the non-preemptive simulator.
+	r := rand.New(rand.NewSource(4))
+	const nodes = 16
+	jobs := make([]*job.Job, 200)
+	var at int64
+	for i := range jobs {
+		at += int64(r.Intn(40))
+		jobs[i] = mk(i, at, int64(1+r.Intn(500)), 1+r.Intn(nodes))
+	}
+	gres, err := Simulate(Config{Nodes: nodes, MaxLevels: 1}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := sched.New(sched.OrderFCFS, sched.StartList, sched.Config{MachineNodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := sim.Run(sim.Machine{Nodes: nodes}, job.CloneAll(jobs), alg,
+		sim.Options{Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sa := range sres.Schedule.Allocs {
+		ge := endOf(gres, sa.Job.ID)
+		if ge != sa.End {
+			t.Fatalf("job %d: gang batch end %d, simulator end %d", sa.Job.ID, ge, sa.End)
+		}
+	}
+}
+
+func TestKillAtLimit(t *testing.T) {
+	j := mk(0, 0, 200, 2)
+	j.Estimate = 150 // killed after 150 dedicated seconds
+	res, err := Simulate(Config{Nodes: 4, MaxLevels: 2}, []*job.Job{j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Allocs[0]
+	if !a.Killed {
+		t.Error("kill flag not set")
+	}
+	if a.End != 150 {
+		t.Errorf("killed job end = %d, want 150", a.End)
+	}
+}
+
+func TestValidateCatchesNothingOnGoodRun(t *testing.T) {
+	jobs := []*job.Job{mk(0, 0, 50, 2), mk(1, 10, 60, 3), mk(2, 20, 5, 4)}
+	res, err := Simulate(Config{Nodes: 4, MaxLevels: 3}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateRejectsBadConfig(t *testing.T) {
+	if _, err := Simulate(Config{}, nil); err == nil {
+		t.Error("zero config accepted")
+	}
+	if _, err := Simulate(Config{Nodes: 4, MaxLevels: 1, Overhead: 1}, nil); err == nil {
+		t.Error("overhead 1 accepted")
+	}
+	if _, err := Simulate(Config{Nodes: 4, MaxLevels: 1}, []*job.Job{mk(0, 0, 10, 9)}); err == nil {
+		t.Error("too-wide job accepted")
+	}
+}
+
+func TestResponseNeverBelowDedicatedRuntime(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	const nodes = 8
+	jobs := make([]*job.Job, 150)
+	var at int64
+	for i := range jobs {
+		at += int64(r.Intn(30))
+		jobs[i] = mk(i, at, int64(1+r.Intn(400)), 1+r.Intn(nodes))
+	}
+	for _, levels := range []int{1, 2, 4} {
+		res, err := Simulate(Config{Nodes: nodes, MaxLevels: levels}, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Allocs) != len(jobs) {
+			t.Fatalf("levels=%d: %d allocs", levels, len(res.Allocs))
+		}
+		for _, a := range res.Allocs {
+			if resp := a.End - a.Job.Submit; resp+1 < a.Job.EffectiveRuntime() {
+				t.Fatalf("levels=%d job %d: response %d < runtime %d",
+					levels, a.Job.ID, resp, a.Job.EffectiveRuntime())
+			}
+		}
+	}
+}
+
+func TestMoreLevelsNeverHurtAvgResponseMuch(t *testing.T) {
+	// With zero overhead, increasing the time-sharing degree should not
+	// increase average response substantially on a backlogged workload
+	// (the [15] claim at workload level).
+	r := rand.New(rand.NewSource(12))
+	const nodes = 8
+	jobs := make([]*job.Job, 300)
+	var at int64
+	for i := range jobs {
+		at += int64(r.Intn(20))
+		jobs[i] = mk(i, at, int64(1+r.Intn(600)), 1+r.Intn(nodes))
+	}
+	prev := math.Inf(1)
+	for _, levels := range []int{1, 2, 4} {
+		res, err := Simulate(Config{Nodes: nodes, MaxLevels: levels}, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		avg := res.AvgResponseTime()
+		if avg > prev*1.10 {
+			t.Errorf("levels=%d worsened avg response: %.0f (prev %.0f)", levels, avg, prev)
+		}
+		prev = avg
+	}
+}

@@ -1,0 +1,138 @@
+package gang
+
+import (
+	"math/rand"
+	"testing"
+
+	"jobsched/internal/job"
+	"jobsched/internal/sched"
+	"jobsched/internal/sim"
+)
+
+func TestPSRSNativeSmallJobsRatioOrder(t *testing.T) {
+	// Machine 4, both 4-node jobs... use small jobs: 2-node each, both
+	// at t=0, unit weights → ratio = 1/(nodes·est): the small-area job
+	// first. Both fit concurrently here, so use 3-node jobs to force
+	// serialization.
+	big := &job.Job{ID: 0, Submit: 0, Nodes: 2, Runtime: 1000, Estimate: 1000}
+	small := &job.Job{ID: 1, Submit: 0, Nodes: 2, Runtime: 10, Estimate: 10}
+	wide := &job.Job{ID: 2, Submit: 0, Nodes: 2, Runtime: 500, Estimate: 500}
+	res, err := SimulatePSRS(PSRSConfig{Nodes: 4}, []*job.Job{big, small, wide})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ratio order: small (1/20), wide (1/1000), big (1/2000): small+wide
+	// start at 0; big waits for the first completion.
+	if e := endOf(res, 1); e != 10 {
+		t.Errorf("small ends at %d, want 10", e)
+	}
+	if e := endOf(res, 0); e != 1010 {
+		t.Errorf("big ends at %d, want 1010 (starts when small drains)", e)
+	}
+}
+
+func TestPSRSNativeWidePreemption(t *testing.T) {
+	// Machine 4: a long small job occupies 1 node; a 4-node wide job
+	// arrives and must wait its patience (= estimate 10), then preempts,
+	// runs [t+10, t+20), and the small job resumes.
+	long := &job.Job{ID: 0, Submit: 0, Nodes: 1, Runtime: 1000, Estimate: 1000}
+	wide := &job.Job{ID: 1, Submit: 5, Nodes: 4, Runtime: 10, Estimate: 10}
+	res, err := SimulatePSRS(PSRSConfig{Nodes: 4}, []*job.Job{long, wide})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := endOf(res, 1); e != 25 {
+		t.Errorf("wide ends at %d, want 25 (arrive 5 + wait 10 + run 10)", e)
+	}
+	// The small job lost 10 s to the preemption: 1000 + 10 = 1010.
+	if e := endOf(res, 0); e != 1010 {
+		t.Errorf("preempted job ends at %d, want 1010", e)
+	}
+}
+
+func TestPSRSNativeWideStartsWhenMachineFree(t *testing.T) {
+	wide := &job.Job{ID: 0, Submit: 0, Nodes: 4, Runtime: 10, Estimate: 10}
+	res, err := SimulatePSRS(PSRSConfig{Nodes: 4}, []*job.Job{wide})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := endOf(res, 0); e != 10 {
+		t.Errorf("wide on empty machine ends at %d, want 10", e)
+	}
+}
+
+func TestPSRSNativeCompletesRandomWorkloads(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	const nodes = 16
+	jobs := make([]*job.Job, 400)
+	var at int64
+	for i := range jobs {
+		at += int64(r.Intn(50))
+		est := int64(1 + r.Intn(800))
+		jobs[i] = &job.Job{ID: job.ID(i), Submit: at, Nodes: 1 + r.Intn(nodes),
+			Estimate: est, Runtime: 1 + r.Int63n(est)}
+	}
+	for _, w := range []job.WeightFunc{job.UnitWeight, job.AreaWeight} {
+		res, err := SimulatePSRS(PSRSConfig{Nodes: nodes, Weight: w}, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Allocs) != len(jobs) {
+			t.Fatalf("%d of %d jobs completed", len(res.Allocs), len(jobs))
+		}
+		if err := res.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPSRSNativeVsModifiedNonPreemptive(t *testing.T) {
+	// The experiment behind the paper's modification: how much does the
+	// non-preemptive conversion cost vs. native preemptive PSRS? Native
+	// must not be dramatically worse; typically it is better in the
+	// unweighted case (it never blocks small jobs behind wide ones for
+	// long).
+	r := rand.New(rand.NewSource(7))
+	const nodes = 32
+	jobs := make([]*job.Job, 800)
+	var at int64
+	for i := range jobs {
+		at += int64(r.Intn(60))
+		est := int64(30 + r.Intn(2000))
+		jobs[i] = &job.Job{ID: job.ID(i), Submit: at, Nodes: 1 + r.Intn(nodes),
+			Estimate: est, Runtime: 1 + r.Int63n(est)}
+	}
+	native, err := SimulatePSRS(PSRSConfig{Nodes: nodes}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := sched.New(sched.OrderPSRS, sched.StartEASY, sched.Config{MachineNodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	modified, err := sim.Run(sim.Machine{Nodes: nodes}, job.CloneAll(jobs), alg,
+		sim.Options{Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var modSum float64
+	for _, a := range modified.Schedule.Allocs {
+		modSum += float64(a.End - a.Job.Submit)
+	}
+	modAvg := modSum / float64(len(jobs))
+	natAvg := native.AvgResponseTime()
+	t.Logf("native preemptive %.0f s vs modified non-preemptive %.0f s", natAvg, modAvg)
+	if natAvg > modAvg*3 {
+		t.Errorf("native PSRS %.0f is wildly worse than the modification %.0f", natAvg, modAvg)
+	}
+}
+
+func TestPSRSNativeRejectsBadConfig(t *testing.T) {
+	if _, err := SimulatePSRS(PSRSConfig{}, nil); err == nil {
+		t.Error("zero config accepted")
+	}
+	bad := &job.Job{ID: 0, Nodes: 99, Runtime: 1, Estimate: 1}
+	if _, err := SimulatePSRS(PSRSConfig{Nodes: 4}, []*job.Job{bad}); err == nil {
+		t.Error("too-wide job accepted")
+	}
+}

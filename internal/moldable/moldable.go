@@ -1,0 +1,236 @@
+// Package moldable implements adaptive partitioning (the paper's
+// Example 3 and the "range of acceptable values, like the number of
+// processors for a malleable job" of Section 2): jobs that accept any
+// width within a range, a machine-level speedup model, and an adaptive
+// FCFS scheduler that chooses each job's partition at start time. It
+// demonstrates the paper's point that "the number of resources allocated
+// to job i depends on other jobs executed concurrently with job i" — and
+// therefore why trace replay must be interpreted carefully.
+package moldable
+
+import (
+	"fmt"
+	"math"
+
+	"jobsched/internal/job"
+	"jobsched/internal/sim"
+	"jobsched/internal/stats"
+)
+
+// Spec describes one moldable job's width flexibility and speedup.
+type Spec struct {
+	// Min and Max bound the acceptable partition width.
+	Min, Max int
+	// SerialFraction is Amdahl's f: runtime(w) = Work·(f + (1-f)/w).
+	SerialFraction float64
+	// Work is the sequential execution time (the 1-node runtime).
+	Work int64
+}
+
+// Runtime returns the execution time on the given width under Amdahl's
+// law. Width is clamped into [Min, Max].
+func (s Spec) Runtime(width int) int64 {
+	if width < s.Min {
+		width = s.Min
+	}
+	if width > s.Max {
+		width = s.Max
+	}
+	t := float64(s.Work) * (s.SerialFraction + (1-s.SerialFraction)/float64(width))
+	if t < 1 {
+		t = 1
+	}
+	return int64(math.Ceil(t))
+}
+
+// Efficiency returns the parallel efficiency at the given width:
+// speedup(w)/w.
+func (s Spec) Efficiency(width int) float64 {
+	seq := float64(s.Work)
+	return seq / (float64(s.Runtime(width)) * float64(width))
+}
+
+// Workload couples rigid submission data with per-job moldability.
+type Workload struct {
+	Jobs  []*job.Job
+	Specs map[job.ID]Spec
+}
+
+// FromRigid derives a moldable workload from a rigid one: the original
+// requested width becomes the user's preference; the acceptable range is
+// [width/flex, width·flex] (clamped to the machine), and the sequential
+// work is back-computed so that the original runtime is exactly the
+// runtime at the requested width. Serial fractions are sampled
+// log-uniformly in [minF, maxF].
+func FromRigid(jobs []*job.Job, machineNodes int, flex float64, minF, maxF float64, seed int64) (*Workload, error) {
+	if flex < 1 {
+		return nil, fmt.Errorf("moldable: flex must be >= 1")
+	}
+	if minF <= 0 || maxF < minF || maxF >= 1 {
+		return nil, fmt.Errorf("moldable: serial fractions must satisfy 0 < minF <= maxF < 1")
+	}
+	r := stats.Split(seed, 31)
+	w := &Workload{
+		Jobs:  job.CloneAll(jobs),
+		Specs: make(map[job.ID]Spec, len(jobs)),
+	}
+	for _, j := range w.Jobs {
+		f := stats.LogUniform(r, minF, maxF)
+		// Work from runtime(width) = Work·(f + (1-f)/width).
+		denom := f + (1-f)/float64(j.Nodes)
+		work := float64(j.Runtime) / denom
+		spec := Spec{
+			Min:            maxInt(1, int(float64(j.Nodes)/flex)),
+			Max:            minInt(machineNodes, int(math.Ceil(float64(j.Nodes)*flex))),
+			SerialFraction: f,
+			Work:           int64(math.Ceil(work)),
+		}
+		w.Specs[j.ID] = spec
+	}
+	return w, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// WidthPolicy selects the partition width for the queue head.
+type WidthPolicy int
+
+const (
+	// Greedy takes all free nodes up to Max.
+	Greedy WidthPolicy = iota
+	// Requested keeps the user's original width (degenerates to rigid
+	// FCFS; the control arm of the adaptive-partitioning experiment).
+	Requested
+	// EfficiencyCap takes free nodes only while parallel efficiency
+	// stays above 50%.
+	EfficiencyCap
+)
+
+func (p WidthPolicy) String() string {
+	switch p {
+	case Greedy:
+		return "greedy"
+	case Requested:
+		return "requested"
+	case EfficiencyCap:
+		return "efficiency-cap"
+	default:
+		return "unknown"
+	}
+}
+
+// Adaptive is an FCFS scheduler with adaptive partitioning: the queue
+// head starts as soon as its *minimum* width fits, on a partition chosen
+// by the width policy. It mutates the job's width, runtime and estimate
+// at start time (scaling the estimate so the user's overestimation
+// factor is preserved), which is exactly the Example 3 effect.
+type Adaptive struct {
+	specs   map[job.ID]Spec
+	policy  WidthPolicy
+	machine int
+	queue   []*job.Job
+}
+
+var _ sim.Scheduler = (*Adaptive)(nil)
+
+// NewAdaptive builds the adaptive FCFS scheduler for the workload.
+func NewAdaptive(w *Workload, policy WidthPolicy, machineNodes int) *Adaptive {
+	return &Adaptive{specs: w.Specs, policy: policy, machine: machineNodes}
+}
+
+// Name implements sim.Scheduler.
+func (a *Adaptive) Name() string {
+	return fmt.Sprintf("Adaptive-FCFS(%s)", a.policy)
+}
+
+// Submit implements sim.Scheduler.
+func (a *Adaptive) Submit(j *job.Job, now int64) { a.queue = append(a.queue, j) }
+
+// JobStarted implements sim.Scheduler.
+func (a *Adaptive) JobStarted(j *job.Job, now int64) {
+	for i, q := range a.queue {
+		if q == j {
+			a.queue = append(a.queue[:i], a.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// JobFinished implements sim.Scheduler.
+func (a *Adaptive) JobFinished(j *job.Job, now int64) {}
+
+// Startable implements sim.Scheduler.
+func (a *Adaptive) Startable(now int64, free int, running []sim.Running) []*job.Job {
+	if len(a.queue) == 0 || free <= 0 {
+		return nil
+	}
+	head := a.queue[0]
+	spec, ok := a.specs[head.ID]
+	if !ok {
+		// No spec: treat as rigid.
+		if head.Nodes <= free {
+			return []*job.Job{head}
+		}
+		return nil
+	}
+	if spec.Min > free {
+		return nil
+	}
+	width := a.chooseWidth(head, spec, free)
+	// Remold the job in place before the engine reads its shape.
+	overFactor := float64(head.Estimate) / float64(head.Runtime)
+	head.Nodes = width
+	head.Runtime = spec.Runtime(width)
+	est := int64(float64(head.Runtime) * overFactor)
+	if est < head.Runtime {
+		est = head.Runtime
+	}
+	head.Estimate = est
+	return []*job.Job{head}
+}
+
+func (a *Adaptive) chooseWidth(j *job.Job, spec Spec, free int) int {
+	switch a.policy {
+	case Requested:
+		w := j.Nodes
+		if w > free {
+			w = free
+		}
+		return clamp(w, spec.Min, minInt(spec.Max, free))
+	case EfficiencyCap:
+		best := spec.Min
+		for w := spec.Min; w <= minInt(spec.Max, free); w++ {
+			if spec.Efficiency(w) >= 0.5 {
+				best = w
+			}
+		}
+		return best
+	default: // Greedy
+		return clamp(free, spec.Min, spec.Max)
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// QueueLen implements sim.Scheduler.
+func (a *Adaptive) QueueLen() int { return len(a.queue) }

@@ -1,0 +1,213 @@
+package moldable
+
+import (
+	"math/rand"
+	"testing"
+
+	"jobsched/internal/job"
+	"jobsched/internal/sched"
+	"jobsched/internal/sim"
+)
+
+func TestSpecRuntimeAmdahl(t *testing.T) {
+	s := Spec{Min: 1, Max: 64, SerialFraction: 0.1, Work: 1000}
+	// Width 1: the full sequential work.
+	if got := s.Runtime(1); got != 1000 {
+		t.Errorf("runtime(1) = %d, want 1000", got)
+	}
+	// Width 10: 1000·(0.1 + 0.9/10) = 190.
+	if got := s.Runtime(10); got != 190 {
+		t.Errorf("runtime(10) = %d, want 190", got)
+	}
+	// Monotone non-increasing in width.
+	prev := s.Runtime(1)
+	for w := 2; w <= 64; w++ {
+		cur := s.Runtime(w)
+		if cur > prev {
+			t.Fatalf("runtime not monotone at width %d: %d > %d", w, cur, prev)
+		}
+		prev = cur
+	}
+	// Clamping.
+	if s.Runtime(0) != s.Runtime(1) || s.Runtime(1000) != s.Runtime(64) {
+		t.Error("width clamping broken")
+	}
+}
+
+func TestSpecEfficiencyDecreases(t *testing.T) {
+	s := Spec{Min: 1, Max: 64, SerialFraction: 0.05, Work: 10000}
+	if e := s.Efficiency(1); e < 0.99 {
+		t.Errorf("efficiency(1) = %v, want ≈ 1", e)
+	}
+	if s.Efficiency(64) >= s.Efficiency(2) {
+		t.Error("efficiency must fall with width")
+	}
+}
+
+func rigidWorkload(n, nodes int, seed int64) []*job.Job {
+	r := rand.New(rand.NewSource(seed))
+	jobs := make([]*job.Job, n)
+	var at int64
+	for i := range jobs {
+		at += int64(r.Intn(60))
+		run := int64(60 + r.Intn(3600))
+		jobs[i] = &job.Job{
+			ID: job.ID(i), Submit: at,
+			Nodes:    1 + r.Intn(nodes/2),
+			Runtime:  run,
+			Estimate: run * int64(1+r.Intn(3)),
+		}
+	}
+	return jobs
+}
+
+func TestFromRigidPreservesRequestedRuntime(t *testing.T) {
+	jobs := rigidWorkload(100, 64, 1)
+	w, err := FromRigid(jobs, 64, 2, 0.01, 0.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range w.Jobs {
+		spec := w.Specs[j.ID]
+		got := spec.Runtime(j.Nodes)
+		// Ceil effects allow ±1%.
+		diff := float64(got-j.Runtime) / float64(j.Runtime)
+		if diff < -0.02 || diff > 0.02 {
+			t.Fatalf("job %d: runtime at requested width %d = %d, original %d",
+				j.ID, j.Nodes, got, j.Runtime)
+		}
+		if spec.Min > j.Nodes || spec.Max < j.Nodes {
+			t.Fatalf("job %d: range [%d,%d] excludes requested %d",
+				j.ID, spec.Min, spec.Max, j.Nodes)
+		}
+		if spec.Min < 1 || spec.Max > 64 {
+			t.Fatalf("range [%d,%d] outside machine", spec.Min, spec.Max)
+		}
+	}
+}
+
+func TestFromRigidRejectsBadParams(t *testing.T) {
+	jobs := rigidWorkload(5, 64, 2)
+	if _, err := FromRigid(jobs, 64, 0.5, 0.01, 0.3, 1); err == nil {
+		t.Error("flex < 1 accepted")
+	}
+	if _, err := FromRigid(jobs, 64, 2, 0, 0.3, 1); err == nil {
+		t.Error("zero minF accepted")
+	}
+	if _, err := FromRigid(jobs, 64, 2, 0.5, 0.4, 1); err == nil {
+		t.Error("inverted fractions accepted")
+	}
+	if _, err := FromRigid(jobs, 64, 2, 0.1, 1, 1); err == nil {
+		t.Error("maxF = 1 accepted")
+	}
+}
+
+func TestAdaptiveCompletesAllJobs(t *testing.T) {
+	const nodes = 64
+	jobs := rigidWorkload(300, nodes, 3)
+	w, err := FromRigid(jobs, nodes, 2, 0.01, 0.3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range []WidthPolicy{Greedy, Requested, EfficiencyCap} {
+		// Each run needs a fresh clone: Adaptive mutates the jobs.
+		wc, err := FromRigid(jobs, nodes, 2, 0.01, 0.3, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alg := NewAdaptive(wc, policy, nodes)
+		res, err := sim.Run(sim.Machine{Nodes: nodes}, wc.Jobs, alg,
+			sim.Options{Validate: true})
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if len(res.Schedule.Allocs) != len(jobs) {
+			t.Fatalf("%s: %d of %d jobs", policy, len(res.Schedule.Allocs), len(jobs))
+		}
+		for _, a := range res.Schedule.Allocs {
+			spec := w.Specs[a.Job.ID]
+			if a.Job.Nodes < spec.Min || a.Job.Nodes > spec.Max {
+				t.Fatalf("%s: job %d started at width %d outside [%d,%d]",
+					policy, a.Job.ID, a.Job.Nodes, spec.Min, spec.Max)
+			}
+		}
+	}
+}
+
+func TestAdaptiveBeatsRigidOnBlockedWorkload(t *testing.T) {
+	// Example 3's payoff: when wide jobs block a rigid FCFS queue,
+	// adaptive partitioning squeezes them into what is free.
+	const nodes = 16
+	jobs := []*job.Job{
+		{ID: 0, Submit: 0, Nodes: 12, Runtime: 1000, Estimate: 1000},
+		{ID: 1, Submit: 1, Nodes: 12, Runtime: 1000, Estimate: 1000},
+		{ID: 2, Submit: 2, Nodes: 12, Runtime: 1000, Estimate: 1000},
+	}
+	w, err := FromRigid(jobs, nodes, 4, 0.01, 0.05, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := NewAdaptive(w, Greedy, nodes)
+	res, err := sim.Run(sim.Machine{Nodes: nodes}, w.Jobs, alg, sim.Options{Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rigid, err := sched.New(sched.OrderFCFS, sched.StartList, sched.Config{MachineNodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rres, err := sim.Run(sim.Machine{Nodes: nodes}, job.CloneAll(jobs), rigid,
+		sim.Options{Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.Makespan() >= rres.Schedule.Makespan() {
+		t.Errorf("adaptive makespan %d not better than rigid %d",
+			res.Schedule.Makespan(), rres.Schedule.Makespan())
+	}
+}
+
+func TestAdaptiveEstimatePreservesOverestimation(t *testing.T) {
+	const nodes = 16
+	jobs := []*job.Job{
+		{ID: 0, Submit: 0, Nodes: 8, Runtime: 100, Estimate: 300}, // 3× over
+	}
+	w, err := FromRigid(jobs, nodes, 2, 0.01, 0.05, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := NewAdaptive(w, Greedy, nodes)
+	res, err := sim.Run(sim.Machine{Nodes: nodes}, w.Jobs, alg, sim.Options{Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Schedule.Allocs[0]
+	ratio := float64(a.Job.Estimate) / float64(a.Job.Runtime)
+	if ratio < 2.9 || ratio > 3.1 {
+		t.Errorf("overestimation factor after remold = %.2f, want ≈ 3", ratio)
+	}
+}
+
+func TestAdaptiveRigidFallbackWithoutSpec(t *testing.T) {
+	const nodes = 8
+	j0 := &job.Job{ID: 0, Submit: 0, Nodes: 4, Runtime: 10, Estimate: 10}
+	w := &Workload{Jobs: []*job.Job{j0}, Specs: map[job.ID]Spec{}}
+	alg := NewAdaptive(w, Greedy, nodes)
+	res, err := sim.Run(sim.Machine{Nodes: nodes}, w.Jobs, alg, sim.Options{Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.Allocs[0].Job.Nodes != 4 {
+		t.Error("spec-less job was remolded")
+	}
+}
+
+func TestWidthPolicyStrings(t *testing.T) {
+	if Greedy.String() != "greedy" || Requested.String() != "requested" ||
+		EfficiencyCap.String() != "efficiency-cap" {
+		t.Error("policy names")
+	}
+	if WidthPolicy(99).String() != "unknown" {
+		t.Error("unknown policy name")
+	}
+}

@@ -1,0 +1,138 @@
+package objective
+
+import "sort"
+
+// Point is one schedule's position in a multi-criteria space (Section
+// 2.2, Figure 1). Criteria are costs: lower is better in every dimension.
+// Label identifies the schedule (e.g. the algorithm that produced it).
+type Point struct {
+	Label    string
+	Criteria []float64
+	// Rank is the partial-order class assigned by RankPartialOrder
+	// (Figure 1's numbers 0, 1, 2): higher rank = preferred. -1 for
+	// dominated points.
+	Rank int
+}
+
+// Dominates reports whether p is at least as good as q in every criterion
+// and strictly better in at least one (costs: smaller is better).
+func (p Point) Dominates(q Point) bool {
+	if len(p.Criteria) != len(q.Criteria) {
+		panic("objective: dimension mismatch")
+	}
+	strict := false
+	for i := range p.Criteria {
+		if p.Criteria[i] > q.Criteria[i] {
+			return false
+		}
+		if p.Criteria[i] < q.Criteria[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// ParetoFront returns the Pareto-optimal subset of the points ("at first
+// all Pareto-optimal schedules are selected"). Order is preserved;
+// duplicates (equal in all criteria) are all kept.
+func ParetoFront(points []Point) []Point {
+	var front []Point
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i != j && q.Dominates(p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	return front
+}
+
+// RankPartialOrder assigns partial-order classes to the Pareto-optimal
+// points by a conflict-resolving preference function (Figure 1: "numbers
+// 0, 1 and 2 ... any schedule 1 is superior to any schedule 0 and
+// inferior to any schedule 2 while the order among all schedules 1 does
+// not matter"). prefer maps a point to a preference score; points are
+// grouped into classes of equal score and ranked ascending, so a higher
+// Rank means more preferred. Dominated points receive Rank -1.
+// The returned slice contains all input points with ranks filled in.
+func RankPartialOrder(points []Point, prefer func(Point) float64) []Point {
+	out := make([]Point, len(points))
+	copy(out, points)
+	front := map[int]bool{}
+	for i := range out {
+		dominated := false
+		for j := range out {
+			if i != j && out[j].Dominates(out[i]) {
+				dominated = true
+				break
+			}
+		}
+		front[i] = !dominated
+	}
+	// Collect distinct preference scores on the front.
+	var scores []float64
+	seen := map[float64]bool{}
+	for i := range out {
+		if !front[i] {
+			out[i].Rank = -1
+			continue
+		}
+		s := prefer(out[i])
+		if !seen[s] {
+			seen[s] = true
+			scores = append(scores, s)
+		}
+	}
+	sort.Float64s(scores)
+	rankOf := map[float64]int{}
+	for r, s := range scores {
+		rankOf[s] = r
+	}
+	for i := range out {
+		if front[i] {
+			out[i].Rank = rankOf[prefer(out[i])]
+		}
+	}
+	return out
+}
+
+// WeightedSum derives a scalar objective function from the partial order:
+// a linear combination of the criteria with the given weights. This is
+// the Section 2.2 step 3 ("derive an objective function that generates
+// this order") in its simplest, most common form.
+func WeightedSum(weights []float64) func(Point) float64 {
+	return func(p Point) float64 {
+		if len(p.Criteria) != len(weights) {
+			panic("objective: dimension mismatch")
+		}
+		var s float64
+		for i, c := range p.Criteria {
+			s += weights[i] * c
+		}
+		return s
+	}
+}
+
+// GeneratesOrder verifies that a scalar objective reproduces a desired
+// partial order on the points: for any two points whose Ranks differ, the
+// higher-ranked (preferred) point must have strictly smaller cost. Points
+// with Rank -1 (dominated) are ignored. This is the paper's step-3
+// consistency check made mechanical.
+func GeneratesOrder(points []Point, cost func(Point) float64) bool {
+	for i := range points {
+		for j := range points {
+			if points[i].Rank < 0 || points[j].Rank < 0 {
+				continue
+			}
+			if points[i].Rank > points[j].Rank && cost(points[i]) >= cost(points[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}

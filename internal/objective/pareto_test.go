@@ -1,0 +1,192 @@
+package objective
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func pt(label string, criteria ...float64) Point {
+	return Point{Label: label, Criteria: criteria}
+}
+
+func TestDominates(t *testing.T) {
+	a := pt("a", 1, 1)
+	b := pt("b", 2, 2)
+	c := pt("c", 1, 2)
+	d := pt("d", 1, 1)
+	if !a.Dominates(b) {
+		t.Error("a must dominate b")
+	}
+	if !a.Dominates(c) {
+		t.Error("a must dominate c (equal first, better second)")
+	}
+	if a.Dominates(d) || d.Dominates(a) {
+		t.Error("equal points must not dominate each other")
+	}
+	if b.Dominates(a) {
+		t.Error("b must not dominate a")
+	}
+	if c.Dominates(b) != true {
+		t.Error("c dominates b")
+	}
+}
+
+func TestDominatesDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	pt("a", 1).Dominates(pt("b", 1, 2))
+}
+
+func TestParetoFront(t *testing.T) {
+	points := []Point{
+		pt("best-x", 0, 10),
+		pt("best-y", 10, 0),
+		pt("mid", 5, 5),
+		pt("dominated", 6, 6), // dominated by mid
+		pt("bad", 20, 20),
+	}
+	front := ParetoFront(points)
+	want := map[string]bool{"best-x": true, "best-y": true, "mid": true}
+	if len(front) != 3 {
+		t.Fatalf("front size = %d, want 3: %v", len(front), front)
+	}
+	for _, p := range front {
+		if !want[p.Label] {
+			t.Errorf("unexpected front member %q", p.Label)
+		}
+	}
+}
+
+func TestParetoFrontKeepsDuplicates(t *testing.T) {
+	points := []Point{pt("a", 1, 1), pt("b", 1, 1)}
+	front := ParetoFront(points)
+	if len(front) != 2 {
+		t.Fatalf("duplicates dropped: %v", front)
+	}
+}
+
+func TestParetoFrontEmpty(t *testing.T) {
+	if got := ParetoFront(nil); len(got) != 0 {
+		t.Fatal("front of nothing")
+	}
+}
+
+// TestParetoFrontProperty: no front member dominates another; every
+// non-member is dominated by some member.
+func TestParetoFrontProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var points []Point
+		for i := 0; i+1 < len(raw); i += 2 {
+			points = append(points, pt("p", float64(raw[i]), float64(raw[i+1])))
+		}
+		front := ParetoFront(points)
+		inFront := func(p Point) bool {
+			for _, q := range front {
+				if &q == &p {
+					return true
+				}
+			}
+			return false
+		}
+		_ = inFront
+		for i := range front {
+			for k := range front {
+				if i != k && front[i].Dominates(front[k]) {
+					return false
+				}
+			}
+		}
+		for _, p := range points {
+			dominated := false
+			for _, q := range points {
+				if q.Dominates(p) {
+					dominated = true
+					break
+				}
+			}
+			if dominated {
+				continue // correctly excluded (membership by value ambiguity aside)
+			}
+			// Non-dominated points must appear in the front (by value).
+			found := false
+			for _, q := range front {
+				if q.Criteria[0] == p.Criteria[0] && q.Criteria[1] == p.Criteria[1] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankPartialOrder(t *testing.T) {
+	// Figure 1 style: three front points; preference = first criterion
+	// (e.g. course availability): lower cost → lower score → ranked
+	// first? RankPartialOrder ranks ascending by score with higher Rank
+	// = more preferred, so the largest score gets the top rank.
+	points := []Point{
+		pt("a", 0, 10),
+		pt("b", 5, 5),
+		pt("c", 10, 0),
+		pt("dom", 11, 11),
+	}
+	ranked := RankPartialOrder(points, func(p Point) float64 { return -p.Criteria[0] })
+	byLabel := map[string]Point{}
+	for _, p := range ranked {
+		byLabel[p.Label] = p
+	}
+	if byLabel["dom"].Rank != -1 {
+		t.Errorf("dominated point rank = %d, want -1", byLabel["dom"].Rank)
+	}
+	// -criterion scores: a=0, b=-5, c=-10 → ascending order c, b, a →
+	// ranks c=0, b=1, a=2.
+	if byLabel["a"].Rank != 2 || byLabel["b"].Rank != 1 || byLabel["c"].Rank != 0 {
+		t.Errorf("ranks = a:%d b:%d c:%d", byLabel["a"].Rank, byLabel["b"].Rank, byLabel["c"].Rank)
+	}
+}
+
+func TestRankPartialOrderTiesShareRank(t *testing.T) {
+	points := []Point{pt("a", 0, 10), pt("b", 10, 0)}
+	ranked := RankPartialOrder(points, func(Point) float64 { return 1 })
+	if ranked[0].Rank != ranked[1].Rank {
+		t.Error("equal preference scores must share a rank class")
+	}
+}
+
+func TestWeightedSum(t *testing.T) {
+	f := WeightedSum([]float64{2, 3})
+	if got := f(pt("x", 10, 100)); got != 2*10+3*100 {
+		t.Errorf("WeightedSum = %v", got)
+	}
+}
+
+func TestGeneratesOrder(t *testing.T) {
+	points := []Point{
+		{Label: "top", Criteria: []float64{1}, Rank: 2},
+		{Label: "mid", Criteria: []float64{5}, Rank: 1},
+		{Label: "low", Criteria: []float64{9}, Rank: 0},
+		{Label: "dom", Criteria: []float64{99}, Rank: -1},
+	}
+	// Cost = the criterion itself: top (preferred) has smallest cost →
+	// consistent.
+	if !GeneratesOrder(points, func(p Point) float64 { return p.Criteria[0] }) {
+		t.Error("consistent objective rejected")
+	}
+	// Inverted cost: violates the order.
+	if GeneratesOrder(points, func(p Point) float64 { return -p.Criteria[0] }) {
+		t.Error("inconsistent objective accepted")
+	}
+}

@@ -1,0 +1,79 @@
+package objective
+
+import "jobsched/internal/sim"
+
+// AvgSlowdown is the mean response-time-to-runtime ratio. Slowdown
+// normalizes response by job length so that short jobs waiting long
+// dominate the metric — a standard criterion in the JSSPP metrics
+// literature the paper builds on (Feitelson/Rudolph [3]).
+type AvgSlowdown struct{}
+
+// Name implements Metric.
+func (AvgSlowdown) Name() string { return "average slowdown" }
+
+// Eval implements Metric.
+func (AvgSlowdown) Eval(s *sim.Schedule) float64 {
+	if len(s.Allocs) == 0 {
+		return 0
+	}
+	var sum float64
+	n := 0
+	for _, a := range s.Allocs {
+		if a.Aborted {
+			continue
+		}
+		run := a.End - a.Start
+		if run <= 0 {
+			run = 1
+		}
+		sum += float64(a.ResponseTime()) / float64(run)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// AvgBoundedSlowdown is slowdown with the runtime clamped below by Tau
+// seconds (conventionally 10 s), preventing near-zero-length jobs from
+// dominating: mean of max(1, response / max(runtime, Tau)).
+type AvgBoundedSlowdown struct {
+	// Tau is the runtime clamp in seconds (0 selects the conventional 10).
+	Tau int64
+}
+
+// Name implements Metric.
+func (AvgBoundedSlowdown) Name() string { return "average bounded slowdown" }
+
+// Eval implements Metric.
+func (m AvgBoundedSlowdown) Eval(s *sim.Schedule) float64 {
+	if len(s.Allocs) == 0 {
+		return 0
+	}
+	tau := m.Tau
+	if tau == 0 {
+		tau = 10
+	}
+	var sum float64
+	n := 0
+	for _, a := range s.Allocs {
+		if a.Aborted {
+			continue
+		}
+		run := a.End - a.Start
+		if run < tau {
+			run = tau
+		}
+		sd := float64(a.ResponseTime()) / float64(run)
+		if sd < 1 {
+			sd = 1
+		}
+		sum += sd
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

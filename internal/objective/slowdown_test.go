@@ -1,0 +1,65 @@
+package objective
+
+import (
+	"testing"
+
+	"jobsched/internal/job"
+	"jobsched/internal/sim"
+)
+
+func slowdownSchedule() *sim.Schedule {
+	// Job 0: waits 90, runs 10 → slowdown 10. Job 1: no wait, runs 100
+	// → slowdown 1.
+	j0 := &job.Job{ID: 0, Nodes: 1, Submit: 0, Runtime: 10, Estimate: 10}
+	j1 := &job.Job{ID: 1, Nodes: 1, Submit: 0, Runtime: 100, Estimate: 100}
+	return &sim.Schedule{
+		Machine: sim.Machine{Nodes: 4},
+		Allocs: []sim.Allocation{
+			{Job: j0, Start: 90, End: 100},
+			{Job: j1, Start: 0, End: 100},
+		},
+	}
+}
+
+func TestAvgSlowdown(t *testing.T) {
+	if got := (AvgSlowdown{}).Eval(slowdownSchedule()); got != 5.5 {
+		t.Errorf("AvgSlowdown = %v, want 5.5", got)
+	}
+}
+
+func TestAvgBoundedSlowdownClampsShortJobs(t *testing.T) {
+	// A 1-second job waiting 99 s: raw slowdown 100; bounded with τ=10
+	// uses max(runtime, 10) → 100/10 = 10.
+	j0 := &job.Job{ID: 0, Nodes: 1, Submit: 0, Runtime: 1, Estimate: 1}
+	s := &sim.Schedule{
+		Machine: sim.Machine{Nodes: 4},
+		Allocs:  []sim.Allocation{{Job: j0, Start: 99, End: 100}},
+	}
+	if got := (AvgBoundedSlowdown{}).Eval(s); got != 10 {
+		t.Errorf("bounded slowdown = %v, want 10", got)
+	}
+	// Custom tau.
+	if got := (AvgBoundedSlowdown{Tau: 100}).Eval(s); got != 1 {
+		t.Errorf("bounded slowdown τ=100 = %v, want 1 (floor)", got)
+	}
+}
+
+func TestSlowdownFloorsAtOne(t *testing.T) {
+	// A job that runs immediately has bounded slowdown exactly 1 even if
+	// its runtime is below τ.
+	j0 := &job.Job{ID: 0, Nodes: 1, Submit: 0, Runtime: 2, Estimate: 2}
+	s := &sim.Schedule{
+		Machine: sim.Machine{Nodes: 4},
+		Allocs:  []sim.Allocation{{Job: j0, Start: 0, End: 2}},
+	}
+	if got := (AvgBoundedSlowdown{}).Eval(s); got != 1 {
+		t.Errorf("immediate job bounded slowdown = %v, want 1", got)
+	}
+}
+
+func TestSlowdownEmpty(t *testing.T) {
+	s := &sim.Schedule{Machine: sim.Machine{Nodes: 4}}
+	if (AvgSlowdown{}).Eval(s) != 0 || (AvgBoundedSlowdown{}).Eval(s) != 0 {
+		t.Error("empty schedule slowdowns must be 0")
+	}
+}

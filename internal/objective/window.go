@@ -1,0 +1,144 @@
+package objective
+
+import (
+	"sort"
+
+	"jobsched/internal/sim"
+)
+
+// Window is a recurring daily time window, optionally restricted to
+// weekdays — Example 5's rule 5 ("between 7am and 8pm on weekdays the
+// response time for all jobs should be as small as possible") and rule 6
+// (the complement). Hours are in [0, 24]; StartHour < EndHour. Time 0 of
+// the simulation is taken as 0:00 on a Monday.
+type Window struct {
+	StartHour    int
+	EndHour      int
+	WeekdaysOnly bool
+}
+
+// PrimeTime is Example 5's daytime window: 7am–8pm on weekdays.
+var PrimeTime = Window{StartHour: 7, EndHour: 20, WeekdaysOnly: true}
+
+// Contains reports whether the instant t falls inside the window.
+func (w Window) Contains(t int64) bool {
+	const day = 24 * 3600
+	const week = 7 * day
+	tod := t % day
+	if t < 0 {
+		tod = (tod + day) % day
+	}
+	hour := tod / 3600
+	if hour < int64(w.StartHour) || hour >= int64(w.EndHour) {
+		return false
+	}
+	if w.WeekdaysOnly {
+		dow := (t % week) / day // day 0 = Monday
+		if dow >= 5 {
+			return false
+		}
+	}
+	return true
+}
+
+// WindowedAvgResponseTime averages the response time of the jobs
+// *submitted* inside the window — the rule-5 objective evaluated on the
+// jobs the rule talks about.
+type WindowedAvgResponseTime struct {
+	W Window
+}
+
+// Name implements Metric.
+func (WindowedAvgResponseTime) Name() string { return "windowed average response time" }
+
+// Eval implements Metric.
+func (m WindowedAvgResponseTime) Eval(s *sim.Schedule) float64 {
+	var sum float64
+	n := 0
+	for _, a := range s.Allocs {
+		if a.Aborted {
+			continue
+		}
+		if m.W.Contains(a.Job.Submit) {
+			sum += float64(a.ResponseTime())
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// WindowedIdleTime sums the idle node-seconds accumulated during the
+// window's occurrences up to the schedule makespan — the rule-6
+// objective ("the sum of the idle times for all resources in a given
+// time frame").
+type WindowedIdleTime struct {
+	W Window
+}
+
+// Name implements Metric.
+func (WindowedIdleTime) Name() string { return "windowed idle node time" }
+
+// Eval implements Metric.
+func (m WindowedIdleTime) Eval(s *sim.Schedule) float64 {
+	mk := s.Makespan()
+	if mk == 0 {
+		return 0
+	}
+	// Walk usage as a step function via start/end events, accumulating
+	// idle node-seconds over in-window portions.
+	type ev struct {
+		at    int64
+		delta int
+	}
+	events := make([]ev, 0, 2*len(s.Allocs))
+	for _, a := range s.Allocs {
+		events = append(events, ev{a.Start, a.Job.Nodes}, ev{a.End, -a.Job.Nodes})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		return events[i].delta < events[j].delta
+	})
+	var (
+		idle float64
+		used int
+		prev int64
+	)
+	for _, e := range events {
+		if e.at > prev {
+			free := s.Machine.Nodes - used
+			if free > 0 {
+				idle += float64(free) * float64(m.W.overlap(prev, e.at))
+			}
+			prev = e.at
+		}
+		used += e.delta
+	}
+	return idle
+}
+
+// overlap returns the in-window seconds of [lo, hi).
+func (w Window) overlap(lo, hi int64) int64 {
+	if hi <= lo {
+		return 0
+	}
+	// Hour-resolution walk is sufficient and simple: windows are aligned
+	// to hours. Iterate hour boundaries intersecting [lo, hi).
+	var total int64
+	t := lo
+	for t < hi {
+		hourEnd := (t/3600 + 1) * 3600
+		if hourEnd > hi {
+			hourEnd = hi
+		}
+		if w.Contains(t) {
+			total += hourEnd - t
+		}
+		t = hourEnd
+	}
+	return total
+}

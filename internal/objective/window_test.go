@@ -1,0 +1,120 @@
+package objective
+
+import (
+	"testing"
+
+	"jobsched/internal/job"
+	"jobsched/internal/sim"
+)
+
+const (
+	hour = 3600
+	day  = 24 * hour
+)
+
+func TestWindowContains(t *testing.T) {
+	w := PrimeTime // 7am-8pm weekdays, day 0 = Monday
+	cases := []struct {
+		t    int64
+		want bool
+	}{
+		{7 * hour, true},         // Monday 7am sharp
+		{7*hour - 1, false},      // just before
+		{20*hour - 1, true},      // just before 8pm
+		{20 * hour, false},       // 8pm sharp
+		{3 * hour, false},        // night
+		{5*day + 12*hour, false}, // Saturday noon
+		{6*day + 12*hour, false}, // Sunday noon
+		{7*day + 12*hour, true},  // next Monday noon
+	}
+	for _, c := range cases {
+		if got := w.Contains(c.t); got != c.want {
+			t.Errorf("Contains(%d) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestWindowAllWeek(t *testing.T) {
+	w := Window{StartHour: 0, EndHour: 24}
+	for _, ts := range []int64{0, 5 * day, 6*day + 23*hour} {
+		if !w.Contains(ts) {
+			t.Errorf("all-week window rejected %d", ts)
+		}
+	}
+}
+
+func TestWindowOverlap(t *testing.T) {
+	w := Window{StartHour: 7, EndHour: 20, WeekdaysOnly: true}
+	// Fully inside Monday prime time.
+	if got := w.overlap(8*hour, 9*hour); got != hour {
+		t.Errorf("inside overlap = %d", got)
+	}
+	// Straddles 8pm: only the first hour counts.
+	if got := w.overlap(19*hour, 21*hour); got != hour {
+		t.Errorf("straddle overlap = %d", got)
+	}
+	// Entirely at night.
+	if got := w.overlap(0, 3*hour); got != 0 {
+		t.Errorf("night overlap = %d", got)
+	}
+	// A full Monday: 13 in-window hours.
+	if got := w.overlap(0, day); got != 13*hour {
+		t.Errorf("full-day overlap = %d", got)
+	}
+	// A full week: 5 × 13 hours.
+	if got := w.overlap(0, 7*day); got != 5*13*hour {
+		t.Errorf("full-week overlap = %d", got)
+	}
+	if got := w.overlap(10, 10); got != 0 {
+		t.Errorf("empty range overlap = %d", got)
+	}
+}
+
+func winSched() *sim.Schedule {
+	// Machine 4. Day job: submitted Monday 8am, runs [8am+100, 8am+200).
+	// Night job: submitted Monday 2am, runs [2am, 2am+3600).
+	dayJob := &job.Job{ID: 0, Nodes: 2, Submit: 8 * hour, Runtime: 100, Estimate: 100}
+	nightJob := &job.Job{ID: 1, Nodes: 4, Submit: 2 * hour, Runtime: hour, Estimate: hour}
+	return &sim.Schedule{
+		Machine: sim.Machine{Nodes: 4},
+		Allocs: []sim.Allocation{
+			{Job: dayJob, Start: 8*hour + 100, End: 8*hour + 200},
+			{Job: nightJob, Start: 2 * hour, End: 3 * hour},
+		},
+	}
+}
+
+func TestWindowedAvgResponseTime(t *testing.T) {
+	m := WindowedAvgResponseTime{W: PrimeTime}
+	// Only the day job counts: response = 200.
+	if got := m.Eval(winSched()); got != 200 {
+		t.Errorf("windowed response = %v, want 200", got)
+	}
+}
+
+func TestWindowedAvgResponseTimeNoJobs(t *testing.T) {
+	m := WindowedAvgResponseTime{W: Window{StartHour: 22, EndHour: 23}}
+	if got := m.Eval(winSched()); got != 0 {
+		t.Errorf("empty-window response = %v", got)
+	}
+}
+
+func TestWindowedIdleTime(t *testing.T) {
+	night := Window{StartHour: 0, EndHour: 7, WeekdaysOnly: false}
+	m := WindowedIdleTime{W: night}
+	got := m.Eval(winSched())
+	// Makespan = 8h+200. Night window covers [0, 7h). Usage: night job
+	// occupies all 4 nodes on [2h, 3h) → idle there 0. Remaining night
+	// time [0,2h) and [3h,7h) = 6h fully idle × 4 nodes.
+	want := float64(6 * hour * 4)
+	if got != want {
+		t.Errorf("windowed idle = %v, want %v", got, want)
+	}
+}
+
+func TestWindowedIdleTimeEmptySchedule(t *testing.T) {
+	m := WindowedIdleTime{W: PrimeTime}
+	if got := m.Eval(&sim.Schedule{Machine: sim.Machine{Nodes: 4}}); got != 0 {
+		t.Errorf("empty schedule idle = %v", got)
+	}
+}

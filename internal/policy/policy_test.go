@@ -1,0 +1,159 @@
+package policy
+
+import (
+	"testing"
+
+	"jobsched/internal/objective"
+)
+
+func scenario(t *testing.T) *Scenario {
+	t.Helper()
+	return ChemistryScenario(1, 5)
+}
+
+func TestChemistryScenarioShape(t *testing.T) {
+	sc := scenario(t)
+	if sc.Machine.Nodes != 64 {
+		t.Errorf("machine = %d nodes", sc.Machine.Nodes)
+	}
+	if len(sc.Sessions) != 5 {
+		t.Errorf("%d sessions, want 5", len(sc.Sessions))
+	}
+	drug, uni := 0, 0
+	for _, j := range sc.Jobs {
+		switch j.Class {
+		case ClassDrug:
+			drug++
+		case ClassUni:
+			uni++
+		default:
+			t.Fatalf("unknown class %q", j.Class)
+		}
+		if err := j.Validate(64, true); err != nil {
+			t.Fatalf("invalid scenario job: %v", err)
+		}
+	}
+	if drug != 5*12 || uni != 5*20 {
+		t.Errorf("drug=%d uni=%d, want 60/100", drug, uni)
+	}
+}
+
+func TestChemistryScenarioDeterministic(t *testing.T) {
+	a := ChemistryScenario(9, 3)
+	b := ChemistryScenario(9, 3)
+	if len(a.Jobs) != len(b.Jobs) {
+		t.Fatal("job counts differ")
+	}
+	for i := range a.Jobs {
+		if *a.Jobs[i] != *b.Jobs[i] {
+			t.Fatal("scenario not deterministic")
+		}
+	}
+}
+
+func TestChemistryScenarioPanicsOnZeroDays(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	ChemistryScenario(1, 0)
+}
+
+func TestSweepTradeoff(t *testing.T) {
+	sc := scenario(t)
+	results, err := sc.Sweep([]float64{0, 1}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4*2 {
+		t.Fatalf("%d results, want 8", len(results))
+	}
+	// The reservation rule must not worsen course availability: for each
+	// algorithm, unavailability at reserve=1 <= unavailability at 0.
+	byAlg := map[string]map[float64]objective.Point{}
+	for _, r := range results {
+		if byAlg[r.Algorithm] == nil {
+			byAlg[r.Algorithm] = map[float64]objective.Point{}
+		}
+		byAlg[r.Algorithm][r.Reserve] = r.Point
+	}
+	betterSomewhere := false
+	for alg, pts := range byAlg {
+		u0 := pts[0].Criteria[1]
+		u1 := pts[1].Criteria[1]
+		if u1 > u0 {
+			t.Errorf("%s: full reservation worsened availability (%.0f%% → %.0f%%)",
+				alg, u0, u1)
+		}
+		if u1 < u0 {
+			betterSomewhere = true
+		}
+	}
+	if !betterSomewhere {
+		t.Log("warning: reservation never changed availability; trade-off space degenerate")
+	}
+}
+
+func TestCriteriaComputation(t *testing.T) {
+	sc := scenario(t)
+	results, err := sc.Sweep([]float64{0}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		dr, un := r.Point.Criteria[0], r.Point.Criteria[1]
+		if dr <= 0 {
+			t.Errorf("%s: drug response %v", r.Algorithm, dr)
+		}
+		if un < 0 || un > 100 {
+			t.Errorf("%s: unavailability %v out of [0,100]", r.Algorithm, un)
+		}
+	}
+}
+
+func TestFigure1RanksFront(t *testing.T) {
+	sc := scenario(t)
+	pts, err := Figure1(sc, []float64{0, 0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front, dominated := 0, 0
+	for _, p := range pts {
+		if p.Rank >= 0 {
+			front++
+		} else {
+			dominated++
+		}
+	}
+	if front == 0 {
+		t.Fatal("no Pareto-optimal schedules found")
+	}
+	t.Logf("front=%d dominated=%d", front, dominated)
+}
+
+func TestFigure2OfflineWeaklyDominates(t *testing.T) {
+	sc := scenario(t)
+	online, offline, err := Figure2(sc, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(online) != len(offline) {
+		t.Fatalf("point counts differ: %d vs %d", len(online), len(offline))
+	}
+	// The off-line (exact knowledge) cloud should reach at least as good
+	// a best drug-response as the on-line cloud (Figure 2's message).
+	best := func(pts []objective.Point) float64 {
+		b := pts[0].Criteria[0]
+		for _, p := range pts {
+			if p.Criteria[0] < b {
+				b = p.Criteria[0]
+			}
+		}
+		return b
+	}
+	if best(offline) > best(online)*1.10 {
+		t.Errorf("off-line best drug response %.0f notably worse than on-line %.0f",
+			best(offline), best(online))
+	}
+}

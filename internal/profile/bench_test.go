@@ -1,0 +1,70 @@
+package profile
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkEarliestFit measures the core backfilling query against a
+// profile with many future reservations — the hot path of conservative
+// backfilling under deep backlog.
+func BenchmarkEarliestFit(b *testing.B) {
+	for _, steps := range []int{16, 256, 4096} {
+		b.Run(name("steps", steps), func(b *testing.B) {
+			p := buildProfile(steps)
+			r := rand.New(rand.NewSource(1))
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				w := 1 + r.Intn(200)
+				d := int64(1 + r.Intn(10000))
+				_ = p.EarliestFit(w, d, 0)
+			}
+		})
+	}
+}
+
+// BenchmarkReserve measures reservation insertion (two splits + range
+// update) at several profile sizes.
+func BenchmarkReserve(b *testing.B) {
+	for _, steps := range []int{16, 256, 4096} {
+		b.Run(name("steps", steps), func(b *testing.B) {
+			base := buildProfile(steps)
+			r := rand.New(rand.NewSource(2))
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := base.Clone()
+				at := p.EarliestFit(1, 100, int64(r.Intn(100000)))
+				p.Reserve(1, at, at+100)
+			}
+		})
+	}
+}
+
+func buildProfile(reservations int) *Profile {
+	p := New(256, 0)
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < reservations; i++ {
+		w := 1 + r.Intn(64)
+		d := int64(1 + r.Intn(5000))
+		at := p.EarliestFit(w, d, int64(r.Intn(50000)))
+		p.Reserve(w, at, at+d)
+	}
+	return p
+}
+
+func name(k string, v int) string {
+	const digits = "0123456789"
+	if v == 0 {
+		return k + "=0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = digits[v%10]
+		v /= 10
+	}
+	return k + "=" + string(buf[i:])
+}

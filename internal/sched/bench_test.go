@@ -1,0 +1,119 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"jobsched/internal/job"
+	"jobsched/internal/sim"
+)
+
+func benchQueue(n int) []*job.Job {
+	r := rand.New(rand.NewSource(7))
+	jobs := make([]*job.Job, n)
+	for i := range jobs {
+		est := int64(1 + r.Intn(43200))
+		jobs[i] = &job.Job{
+			ID: job.ID(i), Nodes: 1 + r.Intn(256),
+			Estimate: est, Runtime: 1 + r.Int63n(est),
+		}
+	}
+	return jobs
+}
+
+// BenchmarkSMARTComputePlan measures one SMART replanning pass (bins,
+// shelves, Smith sort) at several queue depths.
+func BenchmarkSMARTComputePlan(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("queue=%d", n), func(b *testing.B) {
+			o := NewSMARTOrder(FFIA, Config{MachineNodes: 256})
+			q := benchQueue(n)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = o.computePlan(q)
+			}
+		})
+	}
+}
+
+// BenchmarkPSRSComputePlan measures one PSRS replanning pass (ratio
+// sort, preemptive schedule, bin conversion).
+func BenchmarkPSRSComputePlan(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("queue=%d", n), func(b *testing.B) {
+			o := NewPSRSOrder(Config{MachineNodes: 256})
+			q := benchQueue(n)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = o.computePlan(q)
+			}
+		})
+	}
+}
+
+// BenchmarkEASYPick measures one EASY backfilling decision over a deep
+// queue with a busy machine.
+func BenchmarkEASYPick(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("queue=%d", n), func(b *testing.B) {
+			s := NewEASYStarter()
+			q := benchQueue(n)
+			q[0].Nodes = 256 // blocked head forces the backfill scan
+			running := []sim.Running{
+				{Job: &job.Job{ID: 90001, Nodes: 250, Estimate: 5000}, Start: 0, EstEnd: 5000},
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = s.Pick(q, 100, 6, running, 256)
+			}
+		})
+	}
+}
+
+// BenchmarkConservativePick measures one conservative backfilling pass
+// (full reservation rebuild) over a deep queue — the most expensive
+// decision in the paper's grid.
+func BenchmarkConservativePick(b *testing.B) {
+	for _, n := range []int{100, 1000, 4000} {
+		b.Run(fmt.Sprintf("queue=%d", n), func(b *testing.B) {
+			s := NewConservativeStarter(0)
+			q := benchQueue(n)
+			q[0].Nodes = 256
+			running := []sim.Running{
+				{Job: &job.Job{ID: 90001, Nodes: 250, Estimate: 5000}, Start: 0, EstEnd: 5000},
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = s.Pick(q, 100, 6, running, 256)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineFCFS measures raw simulator throughput (events/op) with
+// the cheapest scheduler.
+func BenchmarkEngineFCFS(b *testing.B) {
+	jobs := benchQueue(5000)
+	var at int64
+	r := rand.New(rand.NewSource(9))
+	for _, j := range jobs {
+		at += int64(r.Intn(60))
+		j.Submit = at
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		alg, err := New(OrderFCFS, StartList, Config{MachineNodes: 256})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(sim.Machine{Nodes: 256}, job.CloneAll(jobs), alg, sim.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

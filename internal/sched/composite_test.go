@@ -1,0 +1,260 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"jobsched/internal/job"
+	"jobsched/internal/sim"
+)
+
+func TestNewBuildsEveryGridCell(t *testing.T) {
+	cfg := Config{MachineNodes: 16}
+	for _, o := range GridOrders() {
+		for _, s := range GridStarts() {
+			alg, err := New(o, s, cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", o, s, err)
+			}
+			if alg.Name() == "" {
+				t.Errorf("%s/%s: empty name", o, s)
+			}
+		}
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(OrderFCFS, StartList, Config{}); err == nil {
+		t.Error("zero machine accepted")
+	}
+	if _, err := New("nope", StartList, Config{MachineNodes: 4}); err == nil {
+		t.Error("unknown order accepted")
+	}
+	if _, err := New(OrderFCFS, "nope", Config{MachineNodes: 4}); err == nil {
+		t.Error("unknown starter accepted")
+	}
+}
+
+func TestGareyGrahamIgnoresStartPolicy(t *testing.T) {
+	cfg := Config{MachineNodes: 16}
+	for _, s := range GridStarts() {
+		alg, err := New(OrderGG, s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alg.Name() != "Garey&Graham/List" {
+			t.Errorf("G&G with %s named %q", s, alg.Name())
+		}
+	}
+}
+
+func TestCompositeName(t *testing.T) {
+	alg, err := New(OrderFCFS, StartEASY, Config{MachineNodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alg.Name() != "FCFS/EASY-Backfilling" {
+		t.Errorf("Name = %q", alg.Name())
+	}
+}
+
+// randomJobs builds a reproducible random workload for integration tests.
+func randomJobs(r *rand.Rand, n, maxNodes int) []*job.Job {
+	jobs := make([]*job.Job, n)
+	var at int64
+	for i := range jobs {
+		at += int64(r.Intn(30))
+		est := int64(1 + r.Intn(500))
+		runtime := 1 + r.Int63n(est)
+		jobs[i] = &job.Job{
+			ID:       job.ID(i),
+			Submit:   at,
+			Nodes:    1 + r.Intn(maxNodes),
+			Estimate: est,
+			Runtime:  runtime,
+		}
+	}
+	return jobs
+}
+
+// TestGridCellsCompleteAllJobs runs every algorithm over random
+// workloads and checks the fundamental invariants: all jobs complete,
+// the schedule is valid, no job starts before submission.
+func TestGridCellsCompleteAllJobs(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	const nodes = 16
+	jobs := randomJobs(r, 300, nodes)
+	for _, o := range GridOrders() {
+		for _, s := range GridStarts() {
+			alg, err := New(o, s, Config{MachineNodes: nodes})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.Run(sim.Machine{Nodes: nodes}, job.CloneAll(jobs), alg,
+				sim.Options{Validate: true})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", o, s, err)
+			}
+			if len(res.Schedule.Allocs) != len(jobs) {
+				t.Fatalf("%s/%s: %d jobs scheduled, want %d",
+					o, s, len(res.Schedule.Allocs), len(jobs))
+			}
+		}
+	}
+}
+
+// TestGridCellsPropertyRandomWorkloads is the heavier property-based
+// variant: many random seeds, smaller workloads, all algorithms.
+func TestGridCellsPropertyRandomWorkloads(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		const nodes = 8
+		jobs := randomJobs(r, 60, nodes)
+		for _, o := range GridOrders() {
+			for _, s := range GridStarts() {
+				alg, err := New(o, s, Config{MachineNodes: nodes})
+				if err != nil {
+					return false
+				}
+				res, err := sim.Run(sim.Machine{Nodes: nodes}, job.CloneAll(jobs), alg,
+					sim.Options{Validate: true})
+				if err != nil || len(res.Schedule.Allocs) != len(jobs) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFCFSFairness verifies the paper's fairness property of FCFS: "the
+// completion time of each job is independent of any job submitted later".
+func TestFCFSFairness(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	const nodes = 8
+	base := randomJobs(r, 100, nodes)
+
+	runFCFS := func(jobs []*job.Job) map[job.ID]int64 {
+		alg, err := New(OrderFCFS, StartList, Config{MachineNodes: nodes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(sim.Machine{Nodes: nodes}, job.CloneAll(jobs), alg,
+			sim.Options{Validate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[job.ID]int64{}
+		for _, a := range res.Schedule.Allocs {
+			out[a.Job.ID] = a.End
+		}
+		return out
+	}
+
+	full := runFCFS(base)
+	// Drop the last 30 jobs (latest submitters) and re-run: the first 70
+	// completions must be identical.
+	sorted := job.SortBySubmit(job.CloneAll(base))
+	prefix := sorted[:70]
+	partial := runFCFS(prefix)
+	for _, p := range prefix {
+		if full[p.ID] != partial[p.ID] {
+			t.Fatalf("job %d completion changed (%d → %d) when later jobs were removed",
+				p.ID, partial[p.ID], full[p.ID])
+		}
+	}
+}
+
+// TestGareyGrahamNeverIdlesWhenWorkFits: the defining property of G&G —
+// whenever a node count sufficient for some waiting job is free, a job
+// is started. We verify a weaker schedule-level consequence: at every
+// allocation start time, no waiting job that fits remained unstarted
+// (checked indirectly by comparing with a reference greedy packing is
+// complex; instead assert G&G's makespan <= strict FCFS list makespan on
+// random workloads, which holds because G&G never leaves fitting work
+// idle at decision points while FCFS may).
+func TestGareyGrahamBeatsBlockedFCFSOnCraftedCase(t *testing.T) {
+	// FCFS blocks: the queue head needs the whole machine while a
+	// 1-node job could use the idle node. G&G starts the 1-node job at
+	// t=2; strict FCFS keeps it waiting behind the blocked head.
+	jobs := []*job.Job{
+		{ID: 0, Submit: 0, Nodes: 7, Estimate: 100, Runtime: 100},
+		{ID: 1, Submit: 1, Nodes: 8, Estimate: 100, Runtime: 100},
+		{ID: 2, Submit: 2, Nodes: 1, Estimate: 10, Runtime: 10},
+	}
+	mk := func(o OrderName) int64 {
+		alg, err := New(o, StartList, Config{MachineNodes: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(sim.Machine{Nodes: 8}, job.CloneAll(jobs), alg,
+			sim.Options{Validate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := res.Schedule.ByJobID(2)
+		return a.Start
+	}
+	fcfsStart := mk(OrderFCFS)
+	ggStart := mk(OrderGG)
+	if ggStart >= fcfsStart {
+		t.Fatalf("G&G start %d not earlier than FCFS %d for the skippable job",
+			ggStart, fcfsStart)
+	}
+}
+
+// shadowAssertingStarter wraps EASY and verifies its defining invariant
+// at every decision: a backfill must not push out the head's shadow time
+// as projected from the estimates at decision time ("EASY backfill will
+// not postpone the projected execution of the next job in the list").
+type shadowAssertingStarter struct {
+	inner      *EASYStarter
+	t          *testing.T
+	backfills  int
+	violations int
+}
+
+func (s *shadowAssertingStarter) Name() string { return s.inner.Name() }
+
+func (s *shadowAssertingStarter) Pick(ordered []*job.Job, now int64, free int, running []sim.Running, m int) *job.Job {
+	picked := s.inner.Pick(ordered, now, free, running, m)
+	if picked == nil || len(ordered) == 0 || picked == ordered[0] {
+		return picked
+	}
+	// A backfill happened: compare the head's shadow before and after.
+	head := ordered[0]
+	before, _ := shadowTime(head, now, free, running)
+	after, _ := shadowTime(head, now, free-picked.Nodes,
+		append(append([]sim.Running(nil), running...),
+			sim.Running{Job: picked, Start: now, EstEnd: now + picked.Estimate}))
+	s.backfills++
+	if after > before {
+		s.violations++
+		s.t.Errorf("backfill of %v at t=%d pushed the head shadow %d → %d",
+			picked, now, before, after)
+	}
+	return picked
+}
+
+// TestEASYBackfillNeverPostponesProjectedHeadStart runs FCFS order with
+// the instrumented EASY starter over random workloads and asserts the
+// per-decision shadow invariant, which is EASY's definition.
+func TestEASYBackfillNeverPostponesProjectedHeadStart(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	const nodes = 8
+	jobs := randomJobs(r, 400, nodes)
+	wrapper := &shadowAssertingStarter{inner: NewEASYStarter(), t: t}
+	alg := Compose(NewFCFSOrder("FCFS"), wrapper, nodes)
+	if _, err := sim.Run(sim.Machine{Nodes: nodes}, job.CloneAll(jobs), alg,
+		sim.Options{Validate: true}); err != nil {
+		t.Fatal(err)
+	}
+	if wrapper.backfills == 0 {
+		t.Fatal("workload produced no backfills; the invariant was never exercised")
+	}
+	t.Logf("checked %d backfill decisions", wrapper.backfills)
+}

@@ -1,0 +1,158 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"jobsched/internal/job"
+	"jobsched/internal/profile"
+	"jobsched/internal/sim"
+)
+
+// naiveConservativePick is the unoptimized reference walk: full
+// reservations, no horizon clipping. The production ConservativeStarter
+// must make exactly the same decision on every input.
+func naiveConservativePick(ordered []*job.Job, now int64, free int, running []sim.Running, machineNodes int) *job.Job {
+	if len(ordered) == 0 || free <= 0 {
+		return nil
+	}
+	fits := false
+	for _, j := range ordered {
+		if j.Nodes <= free {
+			fits = true
+			break
+		}
+	}
+	if !fits {
+		return nil
+	}
+	p := profile.New(machineNodes, now)
+	for _, r := range running {
+		end := r.EstEnd
+		if end <= now {
+			end = now + 1
+		}
+		p.Reserve(r.Job.Nodes, now, end)
+	}
+	for _, j := range ordered {
+		t := p.EarliestFit(j.Nodes, j.Estimate, now)
+		if t == now {
+			return j
+		}
+		end := t + j.Estimate
+		if end < t {
+			end = profile.Infinity
+		}
+		p.Reserve(j.Nodes, t, end)
+	}
+	return nil
+}
+
+// TestConservativeExactMatchesNaive pins the default (exact) starter to
+// the reference walk: identical picks on every input.
+func TestConservativeExactMatchesNaive(t *testing.T) {
+	s := NewConservativeStarter(0)
+	if err := quickCheckPicks(s, 500); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConservativeFastAgreesOnTypicalStates checks that the
+// horizon-accelerated variant makes the same decisions as the exact walk
+// on a broad deterministic sample of machine states. Fast mode is a
+// documented approximation — corner cases with fit windows crossing the
+// horizon may differ — so this test uses a fixed random source rather
+// than claiming universal equality.
+func TestConservativeFastAgreesOnTypicalStates(t *testing.T) {
+	s := NewFastConservativeStarter(0)
+	if err := quickCheckPicks(s, 500); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func quickCheckPicks(s *ConservativeStarter, samples int) error {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		const nodes = 32
+		// Random running set.
+		var running []sim.Running
+		used := 0
+		now := int64(1000 + r.Intn(1000))
+		for used < nodes-1 && r.Intn(3) > 0 {
+			w := 1 + r.Intn(nodes-used)
+			est := int64(1 + r.Intn(500))
+			start := now - int64(r.Intn(int(est)))
+			running = append(running, sim.Running{
+				Job:   &job.Job{ID: job.ID(10000 + len(running)), Nodes: w, Estimate: est},
+				Start: start, EstEnd: start + est,
+			})
+			used += w
+		}
+		free := nodes - used
+		// Random queue with wildly mixed estimates (stresses the horizon).
+		q := make([]*job.Job, 1+r.Intn(40))
+		for i := range q {
+			est := int64(1 + r.Intn(2000))
+			if r.Intn(4) == 0 {
+				est = int64(1 + r.Intn(10)) // very short
+			}
+			q[i] = &job.Job{ID: job.ID(i), Nodes: 1 + r.Intn(nodes), Estimate: est, Runtime: est}
+		}
+		got := s.Pick(q, now, free, running, nodes)
+		want := naiveConservativePick(q, now, free, running, nodes)
+		return got == want
+	}
+	return quick.Check(f, &quick.Config{
+		MaxCount: samples,
+		Rand:     rand.New(rand.NewSource(5)), // deterministic sample
+	})
+}
+
+// TestConservativeFastEndToEnd compares complete schedules produced with
+// the fast and the exact starter over deterministic random workloads.
+// Individual placements may differ (fast mode is an approximation), but
+// the schedule quality must stay within a few percent — the property the
+// paper-scale runs rely on.
+func TestConservativeFastEndToEnd(t *testing.T) {
+	for _, seed := range []int64{77, 78, 79} {
+		r := rand.New(rand.NewSource(seed))
+		const nodes = 16
+		jobs := randomJobs(r, 400, nodes)
+
+		avgResponse := func(st Starter) float64 {
+			alg := Compose(NewFCFSOrder("FCFS"), st, nodes)
+			res, err := sim.Run(sim.Machine{Nodes: nodes}, job.CloneAll(jobs), alg,
+				sim.Options{Validate: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sum float64
+			for _, a := range res.Schedule.Allocs {
+				sum += float64(a.End - a.Job.Submit)
+			}
+			return sum / float64(len(res.Schedule.Allocs))
+		}
+		fast := avgResponse(NewFastConservativeStarter(0))
+		exact := avgResponse(NewConservativeStarter(0))
+		rel := (fast - exact) / exact
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > 0.05 {
+			t.Errorf("seed %d: fast avg response %.0f deviates %.1f%% from exact %.0f",
+				seed, fast, rel*100, exact)
+		}
+	}
+}
+
+// pickFunc adapts a function to the Starter interface.
+type pickFunc struct {
+	fn   func([]*job.Job, int64, int, []sim.Running, int) *job.Job
+	name string
+}
+
+func (p *pickFunc) Name() string { return p.name }
+func (p *pickFunc) Pick(ordered []*job.Job, now int64, free int, running []sim.Running, m int) *job.Job {
+	return p.fn(ordered, now, free, running, m)
+}

@@ -1,0 +1,42 @@
+package sched
+
+import "jobsched/internal/job"
+
+// FCFSOrder keeps waiting jobs in submission order (Section 5.1). It is
+// fair — a job's completion is independent of later submissions — and
+// needs no execution-time knowledge.
+type FCFSOrder struct {
+	name  string
+	queue []*job.Job
+}
+
+// NewFCFSOrder returns a submission-order queue with the given display
+// name (Garey&Graham reuses it under its own name).
+func NewFCFSOrder(name string) *FCFSOrder {
+	return &FCFSOrder{name: name}
+}
+
+// Name implements Orderer.
+func (o *FCFSOrder) Name() string { return o.name }
+
+// Push implements Orderer. The engine delivers submissions in time order,
+// so appending preserves FCFS order.
+func (o *FCFSOrder) Push(j *job.Job, now int64) {
+	o.queue = append(o.queue, j)
+}
+
+// Remove implements Orderer.
+func (o *FCFSOrder) Remove(j *job.Job, now int64) {
+	for i, q := range o.queue {
+		if q == j {
+			o.queue = append(o.queue[:i], o.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// Ordered implements Orderer.
+func (o *FCFSOrder) Ordered(now int64) []*job.Job { return o.queue }
+
+// Len implements Orderer.
+func (o *FCFSOrder) Len() int { return len(o.queue) }

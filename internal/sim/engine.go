@@ -1,0 +1,283 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+
+	"jobsched/internal/job"
+)
+
+// Options configure a simulation run.
+type Options struct {
+	// Validate re-checks the produced schedule against the machine model
+	// after the run (cheap; on by default in tests, optional for huge runs).
+	Validate bool
+	// MeasureCPU samples a monotonic clock around every scheduler call so
+	// Result.SchedulerTime reproduces the computation-time experiments
+	// (Tables 7–8). Slightly perturbs wall time of the simulation itself.
+	MeasureCPU bool
+	// MaxTime aborts the simulation if the clock passes this value
+	// (0 = no limit). A safety net against schedulers that stop starting
+	// jobs.
+	MaxTime int64
+	// Failures injects hardware outages (Section 2's uncontrollable
+	// influences): at each failure's time the machine loses nodes for
+	// the failure's duration; running jobs are aborted newest-first
+	// until the remaining capacity suffices and are resubmitted (restart
+	// from scratch, original submission time kept for the metrics).
+	Failures []Failure
+}
+
+// Result is the outcome of a simulation run.
+type Result struct {
+	Schedule *Schedule
+	// SchedulerTime is the cumulative wall time spent inside the
+	// scheduler's methods (only if Options.MeasureCPU).
+	SchedulerTime time.Duration
+	// Events is the number of discrete event batches processed.
+	Events int
+	// MaxQueue is the largest waiting-queue length observed (backlog
+	// diagnostics; the paper discusses the backlog effect of replaying a
+	// 430-node trace on 256 nodes).
+	MaxQueue int
+	// AbortedAttempts counts job executions cut short by injected
+	// hardware failures (each such job was restarted).
+	AbortedAttempts int
+}
+
+// completion is a pending job completion in the event heap.
+type completion struct {
+	at  int64
+	seq int // tie-break: start order
+	job *job.Job
+}
+
+type completionHeap []completion
+
+func (h completionHeap) Len() int { return len(h) }
+func (h completionHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// newestRunning returns the most recently started running job (largest
+// start time, ties broken toward the larger ID for determinism), or nil
+// when nothing runs. Failure handling aborts the newest job first: it
+// has the least sunk work.
+func newestRunning(running map[job.ID]Running) *Running {
+	var best *Running
+	for id := range running {
+		r := running[id]
+		if best == nil || r.Start > best.Start ||
+			(r.Start == best.Start && r.Job.ID > best.Job.ID) {
+			cp := r
+			best = &cp
+		}
+	}
+	return best
+}
+
+// Run simulates the scheduler on the job stream and returns the final
+// schedule. Jobs are delivered strictly in submission order; completions
+// interleave by time. The machine model is Example 5's: exclusive
+// variable partitions, no time sharing, jobs cancelled at their limit.
+func Run(m Machine, jobs []*job.Job, s Scheduler, opt Options) (*Result, error) {
+	if m.Nodes <= 0 {
+		return nil, fmt.Errorf("sim: machine needs at least one node")
+	}
+	for _, j := range jobs {
+		if err := j.Validate(m.Nodes, false); err != nil {
+			return nil, err
+		}
+	}
+	arrivals := append([]*job.Job(nil), jobs...)
+	job.SortBySubmit(arrivals)
+
+	failures, err := validateFailures(opt.Failures, m.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	// Failure edges: capacity deltas at failure starts and repairs.
+	type edge struct {
+		at    int64
+		delta int
+	}
+	var edges []edge
+	for _, f := range failures {
+		edges = append(edges, edge{f.At, -f.Nodes}, edge{f.At + f.Duration, f.Nodes})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].at != edges[j].at {
+			return edges[i].at < edges[j].at
+		}
+		return edges[i].delta < edges[j].delta
+	})
+
+	res := &Result{Schedule: &Schedule{
+		Machine: m,
+		Allocs:  make([]Allocation, 0, len(jobs)),
+	}}
+
+	var (
+		pending    completionHeap
+		free       = m.Nodes
+		nextArr    = 0
+		nextEdge   = 0
+		startSeq   = 0
+		schedTime  time.Duration
+		runningBy  = make(map[job.ID]Running, 64)
+		runningSeq = make(map[job.ID]int, 64)
+		// runningAlloc maps a running job to its allocation record so a
+		// failure abort can rewrite it in place.
+		runningAlloc = make(map[job.ID]int, 64)
+		cancelled    = make(map[int]bool)
+	)
+
+	timed := func(f func()) {
+		if !opt.MeasureCPU {
+			f()
+			return
+		}
+		t0 := time.Now()
+		f()
+		schedTime += time.Since(t0)
+	}
+
+	runningList := func() []Running {
+		rs := make([]Running, 0, len(runningBy))
+		for _, r := range runningBy {
+			rs = append(rs, r)
+		}
+		sort.Slice(rs, func(i, j int) bool { return rs[i].Job.ID < rs[j].Job.ID })
+		return rs
+	}
+
+
+	for nextArr < len(arrivals) || pending.Len() > 0 || nextEdge < len(edges) {
+		// Determine the next event time.
+		now := int64(-1)
+		if nextArr < len(arrivals) {
+			now = arrivals[nextArr].Submit
+		}
+		if pending.Len() > 0 && (now < 0 || pending[0].at < now) {
+			now = pending[0].at
+		}
+		if nextEdge < len(edges) && (now < 0 || edges[nextEdge].at < now) {
+			// Failure edges only matter while work remains; a trailing
+			// repair after everything finished is still consumed to keep
+			// the loop finite.
+			now = edges[nextEdge].at
+		}
+		if opt.MaxTime > 0 && now > opt.MaxTime {
+			return nil, fmt.Errorf("sim: clock passed MaxTime %d with %d jobs unfinished",
+				opt.MaxTime, len(arrivals)-len(res.Schedule.Allocs))
+		}
+		res.Events++
+
+		// Deliver all completions at `now` first: resources freed at t are
+		// available to jobs started at t. Completions of failure-aborted
+		// attempts were cancelled and are skipped.
+		for pending.Len() > 0 && pending[0].at == now {
+			c := heap.Pop(&pending).(completion)
+			if cancelled[c.seq] {
+				delete(cancelled, c.seq)
+				continue
+			}
+			free += c.job.Nodes
+			delete(runningBy, c.job.ID)
+			delete(runningSeq, c.job.ID)
+			timed(func() { s.JobFinished(c.job, now) })
+		}
+		// Apply failure edges at `now`: capacity drops abort the
+		// newest-started jobs until the survivors fit; repairs hand the
+		// nodes back.
+		for nextEdge < len(edges) && edges[nextEdge].at == now {
+			free += edges[nextEdge].delta
+			nextEdge++
+			for free < 0 {
+				victim := newestRunning(runningBy)
+				if victim == nil {
+					return nil, fmt.Errorf("sim: failure at %d cannot be absorbed", now)
+				}
+				free += victim.Job.Nodes
+				// Rewrite the victim's allocation record in place: the
+				// attempt ends now, cut short.
+				a := &res.Schedule.Allocs[runningAlloc[victim.Job.ID]]
+				a.End = now
+				a.Aborted = true
+				a.Killed = false
+				res.AbortedAttempts++
+				cancelled[runningSeq[victim.Job.ID]] = true
+				delete(runningBy, victim.Job.ID)
+				delete(runningSeq, victim.Job.ID)
+				delete(runningAlloc, victim.Job.ID)
+				// Resubmit: the job restarts from scratch; its original
+				// submission time is kept so response metrics account the
+				// full delay.
+				j := victim.Job
+				timed(func() { s.Submit(j, now) })
+			}
+		}
+		// Deliver all arrivals at `now`.
+		for nextArr < len(arrivals) && arrivals[nextArr].Submit == now {
+			j := arrivals[nextArr]
+			nextArr++
+			timed(func() { s.Submit(j, now) })
+		}
+		if q := s.QueueLen(); q > res.MaxQueue {
+			res.MaxQueue = q
+		}
+
+		// Let the scheduler start jobs until it declines.
+		for {
+			var starts []*job.Job
+			running := runningList()
+			timed(func() { starts = s.Startable(now, free, running) })
+			if len(starts) == 0 {
+				break
+			}
+			for _, j := range starts {
+				if j.Nodes > free {
+					return nil, fmt.Errorf("sim: scheduler %s started %v with only %d nodes free",
+						s.Name(), j, free)
+				}
+				free -= j.Nodes
+				end := now + j.EffectiveRuntime()
+				runningAlloc[j.ID] = len(res.Schedule.Allocs)
+				res.Schedule.Allocs = append(res.Schedule.Allocs, Allocation{
+					Job: j, Start: now, End: end, Killed: j.Killed(),
+				})
+				runningBy[j.ID] = Running{Job: j, Start: now, EstEnd: now + j.Estimate}
+				runningSeq[j.ID] = startSeq
+				heap.Push(&pending, completion{at: end, seq: startSeq, job: j})
+				startSeq++
+				timed(func() { s.JobStarted(j, now) })
+			}
+		}
+	}
+
+	if s.QueueLen() != 0 {
+		return nil, fmt.Errorf("sim: scheduler %s left %d jobs waiting after all events",
+			s.Name(), s.QueueLen())
+	}
+	res.SchedulerTime = schedTime
+	if opt.Validate {
+		if err := res.Schedule.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

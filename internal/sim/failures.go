@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Failure models the sudden loss of hardware the paper's Section 2 names
+// as an influence "which cannot be controlled by the scheduling system":
+// Nodes nodes go down at time At and return after Duration seconds. Jobs
+// running on lost nodes are aborted and automatically resubmitted (they
+// restart from scratch — the machine model is non-preemptive and has no
+// checkpointing).
+type Failure struct {
+	At       int64
+	Nodes    int
+	Duration int64
+}
+
+// validateFailures checks and sorts the failure list.
+func validateFailures(failures []Failure, machineNodes int) ([]Failure, error) {
+	out := append([]Failure(nil), failures...)
+	for _, f := range out {
+		if f.Nodes <= 0 || f.Nodes > machineNodes {
+			return nil, fmt.Errorf("sim: failure loses %d of %d nodes", f.Nodes, machineNodes)
+		}
+		if f.Duration <= 0 || f.At < 0 {
+			return nil, fmt.Errorf("sim: failure needs At >= 0 and positive duration")
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	// Overlapping outages must never drive capacity negative.
+	type edge struct {
+		at    int64
+		delta int
+	}
+	var edges []edge
+	for _, f := range out {
+		edges = append(edges, edge{f.At, f.Nodes}, edge{f.At + f.Duration, -f.Nodes})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].at != edges[j].at {
+			return edges[i].at < edges[j].at
+		}
+		return edges[i].delta < edges[j].delta
+	})
+	down := 0
+	for _, e := range edges {
+		down += e.delta
+		if down > machineNodes {
+			return nil, fmt.Errorf("sim: overlapping failures exceed the machine")
+		}
+	}
+	return out, nil
+}

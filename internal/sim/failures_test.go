@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"jobsched/internal/job"
+)
+
+func TestValidateFailures(t *testing.T) {
+	ok := []Failure{{At: 100, Nodes: 2, Duration: 50}}
+	if _, err := validateFailures(ok, 4); err != nil {
+		t.Fatalf("valid failures rejected: %v", err)
+	}
+	bad := [][]Failure{
+		{{At: 0, Nodes: 0, Duration: 10}},
+		{{At: 0, Nodes: 5, Duration: 10}},
+		{{At: 0, Nodes: 1, Duration: 0}},
+		{{At: -1, Nodes: 1, Duration: 10}},
+		// Overlapping outages larger than the machine.
+		{{At: 0, Nodes: 3, Duration: 100}, {At: 50, Nodes: 3, Duration: 100}},
+	}
+	for i, fs := range bad {
+		if _, err := validateFailures(fs, 4); err == nil {
+			t.Errorf("bad failures %d accepted", i)
+		}
+	}
+	// Sorting.
+	sorted, err := validateFailures([]Failure{
+		{At: 500, Nodes: 1, Duration: 1},
+		{At: 100, Nodes: 1, Duration: 1},
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sorted[0].At != 100 {
+		t.Error("failures not sorted")
+	}
+}
+
+func TestFailureAbortsAndRestartsJob(t *testing.T) {
+	// Machine 4. Job 0 (4 nodes, 100 s) starts at 0. At t=30 the machine
+	// loses 2 nodes for 50 s: job 0 is aborted, resubmitted, cannot
+	// restart until repair at t=80 (only 2 nodes up), then runs [80,180).
+	jobs := []*job.Job{mkJob(0, 0, 100, 100, 4)}
+	res, err := Run(Machine{Nodes: 4}, jobs, &fifoScheduler{}, Options{
+		Validate: true,
+		Failures: []Failure{{At: 30, Nodes: 2, Duration: 50}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AbortedAttempts != 1 {
+		t.Fatalf("AbortedAttempts = %d", res.AbortedAttempts)
+	}
+	if len(res.Schedule.Allocs) != 2 {
+		t.Fatalf("%d allocations, want 2 (abort + completion)", len(res.Schedule.Allocs))
+	}
+	var aborted, final *Allocation
+	for i := range res.Schedule.Allocs {
+		a := &res.Schedule.Allocs[i]
+		if a.Aborted {
+			aborted = a
+		} else {
+			final = a
+		}
+	}
+	if aborted == nil || final == nil {
+		t.Fatal("missing abort or completion record")
+	}
+	if aborted.Start != 0 || aborted.End != 30 {
+		t.Errorf("aborted attempt [%d,%d), want [0,30)", aborted.Start, aborted.End)
+	}
+	if final.Start != 80 || final.End != 180 {
+		t.Errorf("restart [%d,%d), want [80,180)", final.Start, final.End)
+	}
+}
+
+func TestFailureSparesJobsThatStillFit(t *testing.T) {
+	// Two 1-node jobs on a 4-node machine; losing 2 nodes at t=10 leaves
+	// room for both — nothing is aborted.
+	jobs := []*job.Job{
+		mkJob(0, 0, 100, 100, 1),
+		mkJob(1, 0, 100, 100, 1),
+	}
+	res, err := Run(Machine{Nodes: 4}, jobs, &fifoScheduler{}, Options{
+		Validate: true,
+		Failures: []Failure{{At: 10, Nodes: 2, Duration: 20}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AbortedAttempts != 0 {
+		t.Fatalf("AbortedAttempts = %d, want 0", res.AbortedAttempts)
+	}
+}
+
+func TestFailureAbortsNewestFirst(t *testing.T) {
+	// Job 0 starts at 0 (2 nodes), job 1 at 5 (2 nodes). Losing 2 nodes
+	// at t=10 aborts the newer job 1, not job 0.
+	jobs := []*job.Job{
+		mkJob(0, 0, 100, 100, 2),
+		mkJob(1, 5, 100, 100, 2),
+	}
+	res, err := Run(Machine{Nodes: 4}, jobs, &fifoScheduler{}, Options{
+		Validate: true,
+		Failures: []Failure{{At: 10, Nodes: 2, Duration: 30}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Schedule.Allocs {
+		if a.Aborted && a.Job.ID != 1 {
+			t.Fatalf("aborted job %d, want the newest (1)", a.Job.ID)
+		}
+	}
+	if res.AbortedAttempts != 1 {
+		t.Fatalf("AbortedAttempts = %d", res.AbortedAttempts)
+	}
+}
+
+func TestFailureCapacityRespectedDuringOutage(t *testing.T) {
+	// During [100, 200) only 1 of 4 nodes is up: pointwise usage in the
+	// final schedule must never exceed 1 in that window.
+	r := rand.New(rand.NewSource(8))
+	jobs := make([]*job.Job, 60)
+	var at int64
+	for i := range jobs {
+		at += int64(r.Intn(10))
+		run := int64(1 + r.Intn(60))
+		jobs[i] = mkJob(i, at, run, run, 1+r.Intn(4))
+	}
+	res, err := Run(Machine{Nodes: 4}, jobs, &fifoScheduler{}, Options{
+		Validate: true,
+		Failures: []Failure{{At: 100, Nodes: 3, Duration: 100}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ts := int64(100); ts < 200; ts += 7 {
+		used := 0
+		for _, a := range res.Schedule.Allocs {
+			if a.Start <= ts && ts < a.End {
+				used += a.Job.Nodes
+			}
+		}
+		if used > 1 {
+			t.Fatalf("%d nodes used at t=%d during a 3-node outage", used, ts)
+		}
+	}
+}
+
+func TestFailureResponseKeepsOriginalSubmit(t *testing.T) {
+	// The restarted job's response time must be measured from the
+	// original submission.
+	jobs := []*job.Job{mkJob(0, 0, 100, 100, 4)}
+	res, err := Run(Machine{Nodes: 4}, jobs, &fifoScheduler{}, Options{
+		Validate: true,
+		Failures: []Failure{{At: 50, Nodes: 4, Duration: 50}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Schedule.Allocs {
+		if !a.Aborted {
+			if a.Job.Submit != 0 {
+				t.Fatalf("restart lost the original submit time: %d", a.Job.Submit)
+			}
+			if a.ResponseTime() != a.End {
+				t.Fatalf("response %d != completion %d for submit-0 job",
+					a.ResponseTime(), a.End)
+			}
+		}
+	}
+}
+
+func TestFailureWholeMachineOutage(t *testing.T) {
+	// Losing the entire machine aborts everything; all jobs complete
+	// after the repair.
+	jobs := []*job.Job{
+		mkJob(0, 0, 100, 100, 2),
+		mkJob(1, 0, 100, 100, 2),
+	}
+	res, err := Run(Machine{Nodes: 4}, jobs, &fifoScheduler{}, Options{
+		Validate: true,
+		Failures: []Failure{{At: 10, Nodes: 4, Duration: 100}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AbortedAttempts != 2 {
+		t.Fatalf("AbortedAttempts = %d, want 2", res.AbortedAttempts)
+	}
+	completed := 0
+	for _, a := range res.Schedule.Allocs {
+		if !a.Aborted {
+			completed++
+			if a.Start < 110 {
+				t.Fatalf("job restarted at %d during the outage", a.Start)
+			}
+		}
+	}
+	if completed != 2 {
+		t.Fatalf("%d completions", completed)
+	}
+}
+
+func TestFailureAfterAllJobsDoneIsHarmless(t *testing.T) {
+	jobs := []*job.Job{mkJob(0, 0, 10, 10, 1)}
+	res, err := Run(Machine{Nodes: 4}, jobs, &fifoScheduler{}, Options{
+		Validate: true,
+		Failures: []Failure{{At: 1000, Nodes: 4, Duration: 10}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AbortedAttempts != 0 || len(res.Schedule.Allocs) != 1 {
+		t.Fatal("trailing failure perturbed the schedule")
+	}
+}
+
+func TestFailureRejectsInvalidSpec(t *testing.T) {
+	jobs := []*job.Job{mkJob(0, 0, 10, 10, 1)}
+	_, err := Run(Machine{Nodes: 4}, jobs, &fifoScheduler{}, Options{
+		Failures: []Failure{{At: 0, Nodes: 9, Duration: 10}},
+	})
+	if err == nil {
+		t.Fatal("invalid failure spec accepted")
+	}
+}

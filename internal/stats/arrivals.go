@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RateFunc maps a time (seconds from workload start) to a relative arrival
+// intensity in [0, 1]. It modulates a base rate to express daily and
+// weekly submission cycles.
+type RateFunc func(t int64) float64
+
+// ConstantRate is the trivial modulation (homogeneous Poisson process).
+func ConstantRate(int64) float64 { return 1 }
+
+const (
+	secondsPerHour = 3600
+	secondsPerDay  = 24 * secondsPerHour
+	secondsPerWeek = 7 * secondsPerDay
+)
+
+// DailyWeeklyRate returns a RateFunc with the classic supercomputer
+// submission pattern: weekday peak between 7am and 8pm (the paper's
+// prime-time window of Example 5 rules 5/6), reduced nights, reduced
+// weekends. dayFloor and weekendFactor are in (0, 1]; peak hours get
+// intensity 1.
+func DailyWeeklyRate(dayFloor, weekendFactor float64) RateFunc {
+	if dayFloor <= 0 || dayFloor > 1 || weekendFactor <= 0 || weekendFactor > 1 {
+		panic("stats: DailyWeeklyRate factors must be in (0,1]")
+	}
+	return func(t int64) float64 {
+		tod := t % secondsPerDay
+		dow := (t % secondsPerWeek) / secondsPerDay // 0..6, day 0 = Monday
+		hour := tod / secondsPerHour
+		rate := dayFloor
+		if hour >= 7 && hour < 20 {
+			// Smooth ramp within prime time: a raised-cosine bump peaks
+			// mid-afternoon, matching observed CTC submission intensity.
+			x := float64(tod-7*secondsPerHour) / float64(13*secondsPerHour)
+			rate = dayFloor + (1-dayFloor)*0.5*(1-math.Cos(2*math.Pi*x))
+			if rate > 1 {
+				rate = 1
+			}
+		}
+		if dow >= 5 { // Saturday, Sunday
+			rate *= weekendFactor
+		}
+		return rate
+	}
+}
+
+// PoissonArrivals draws n arrival times of a nonhomogeneous Poisson
+// process on [0, horizon) with peak rate peakPerSec modulated by rate,
+// using Lewis-Shedler thinning. If fewer than n arrivals fit in the
+// horizon at the given rate the process wraps into subsequent horizons
+// (the effective trace simply becomes longer), so exactly n times are
+// always returned, ascending.
+func PoissonArrivals(r *rand.Rand, n int, peakPerSec float64, horizon int64, rate RateFunc) []int64 {
+	if peakPerSec <= 0 {
+		panic("stats: PoissonArrivals requires positive rate")
+	}
+	out := make([]int64, 0, n)
+	t := 0.0
+	for len(out) < n {
+		t += r.ExpFloat64() / peakPerSec
+		tt := int64(t)
+		m := tt
+		if horizon > 0 {
+			m = tt % horizon // modulation pattern repeats past the horizon
+		}
+		if r.Float64() <= rate(m) {
+			out = append(out, tt)
+		}
+	}
+	return out
+}
+
+// UniformArrivals draws n interarrival gaps uniform in [0, maxGap] seconds
+// and returns the cumulative arrival times. This implements the paper's
+// randomized workload submission model ("at least one job per hour":
+// every gap is at most one hour when maxGap = 3600).
+func UniformArrivals(r *rand.Rand, n int, maxGap int64) []int64 {
+	out := make([]int64, n)
+	var t int64
+	for i := 0; i < n; i++ {
+		t += UniformInt(r, 0, maxGap)
+		out[i] = t
+	}
+	return out
+}

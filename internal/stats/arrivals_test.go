@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestConstantRate(t *testing.T) {
+	if ConstantRate(0) != 1 || ConstantRate(1e9) != 1 {
+		t.Fatal("ConstantRate must always be 1")
+	}
+}
+
+func TestDailyWeeklyRateShape(t *testing.T) {
+	rate := DailyWeeklyRate(0.2, 0.5)
+	// 3am Monday: floor.
+	night := rate(3 * 3600)
+	if math.Abs(night-0.2) > 1e-9 {
+		t.Errorf("night rate = %v, want 0.2", night)
+	}
+	// Midday Monday: near peak.
+	noon := rate(13 * 3600)
+	if noon < 0.8 {
+		t.Errorf("midday rate = %v, want near 1", noon)
+	}
+	// Saturday midday: weekend factor applied.
+	sat := rate(5*86400 + 13*3600)
+	if math.Abs(sat-noon*0.5) > 1e-9 {
+		t.Errorf("saturday rate = %v, want %v", sat, noon*0.5)
+	}
+	// Rates stay in (0, 1].
+	for ts := int64(0); ts < 7*86400; ts += 977 {
+		v := rate(ts)
+		if v <= 0 || v > 1 {
+			t.Fatalf("rate(%d) = %v out of (0,1]", ts, v)
+		}
+	}
+}
+
+func TestDailyWeeklyRatePanics(t *testing.T) {
+	for _, c := range [][2]float64{{0, 0.5}, {1.5, 0.5}, {0.5, 0}, {0.5, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for %v", c)
+				}
+			}()
+			DailyWeeklyRate(c[0], c[1])
+		}()
+	}
+}
+
+func TestPoissonArrivalsCountAndOrder(t *testing.T) {
+	r := NewRand(12)
+	arr := PoissonArrivals(r, 5000, 0.01, 86400*7, ConstantRate)
+	if len(arr) != 5000 {
+		t.Fatalf("got %d arrivals", len(arr))
+	}
+	if !sort.SliceIsSorted(arr, func(i, j int) bool { return arr[i] < arr[j] }) {
+		t.Fatal("arrivals not ascending")
+	}
+	// Homogeneous process at rate 0.01/s: 5000 arrivals span ~500000 s.
+	span := float64(arr[len(arr)-1] - arr[0])
+	if span < 350000 || span > 700000 {
+		t.Errorf("span = %v, want ~500000", span)
+	}
+}
+
+func TestPoissonArrivalsModulationThins(t *testing.T) {
+	r := NewRand(13)
+	rate := DailyWeeklyRate(0.1, 0.1)
+	arr := PoissonArrivals(r, 20000, 0.05, 86400*7, ConstantRate)
+	r2 := NewRand(13)
+	arrMod := PoissonArrivals(r2, 20000, 0.05, 86400*7, rate)
+	// Thinned process must take longer to accumulate the same count.
+	if arrMod[len(arrMod)-1] <= arr[len(arr)-1] {
+		t.Error("modulated arrivals did not stretch the time span")
+	}
+	// Night intensity must be well below day intensity.
+	day, night := 0, 0
+	for _, a := range arrMod {
+		h := (a % 86400) / 3600
+		if h >= 7 && h < 20 {
+			day++
+		} else {
+			night++
+		}
+	}
+	// Prime time is 13/24 of the day; with floor 0.1 the day share must
+	// far exceed its time share.
+	if float64(day)/float64(day+night) < 0.7 {
+		t.Errorf("day fraction = %v, want > 0.7", float64(day)/float64(day+night))
+	}
+}
+
+func TestPoissonArrivalsPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	PoissonArrivals(NewRand(1), 10, 0, 100, ConstantRate)
+}
+
+func TestUniformArrivals(t *testing.T) {
+	r := NewRand(14)
+	arr := UniformArrivals(r, 10000, 3600)
+	if len(arr) != 10000 {
+		t.Fatalf("got %d arrivals", len(arr))
+	}
+	prev := int64(0)
+	for _, a := range arr {
+		gap := a - prev
+		if gap < 0 || gap > 3600 {
+			t.Fatalf("gap %d outside [0,3600]", gap)
+		}
+		prev = a
+	}
+	// Mean gap ~1800 s ("at least one job per hour").
+	mean := float64(arr[len(arr)-1]) / float64(len(arr))
+	if math.Abs(mean-1800) > 60 {
+		t.Errorf("mean gap = %v, want ~1800", mean)
+	}
+}
+
+func TestDescribeAndPercentile(t *testing.T) {
+	s := Describe([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("Describe = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("Std = %v", s.Std)
+	}
+	if got := Percentile([]float64{10, 20}, 50); got != 15 {
+		t.Errorf("Percentile interpolation = %v", got)
+	}
+	if got := Percentile([]float64{3, 1, 2}, 0); got != 1 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := Percentile([]float64{3, 1, 2}, 100); got != 3 {
+		t.Errorf("P100 = %v", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("Percentile(nil) must be NaN")
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) must be NaN")
+	}
+	if Describe(nil).N != 0 {
+		t.Error("Describe(nil) must be zero")
+	}
+}

@@ -1,0 +1,197 @@
+// Package trace reads and writes workload traces in the Standard Workload
+// Format (SWF) of the Parallel Workloads Archive [1] and implements the
+// trace transformations of the paper's Section 6.1: deleting jobs wider
+// than the target machine and replacing user estimates by exact runtimes.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"jobsched/internal/job"
+)
+
+// SWF field indices (0-based) of the 18-field record.
+const (
+	fieldJobID = iota
+	fieldSubmit
+	fieldWait
+	fieldRuntime
+	fieldProcs
+	fieldAvgCPU
+	fieldMemory
+	fieldReqProcs
+	fieldReqTime
+	fieldReqMemory
+	fieldStatus
+	fieldUser
+	fieldGroup
+	fieldExecutable
+	fieldQueue
+	fieldPartition
+	fieldPrevJob
+	fieldThinkTime
+	swfFields
+)
+
+// Header carries the SWF header comments we preserve.
+type Header struct {
+	Computer string
+	MaxNodes int
+	Note     string
+}
+
+// Write serializes jobs as an SWF file. Wait time is written as -1
+// (unknown: the wait is an output of scheduling, not an input); resource
+// fields we do not model are -1 per the SWF convention.
+func Write(w io.Writer, h Header, jobs []*job.Job) error {
+	bw := bufio.NewWriter(w)
+	if h.Computer != "" {
+		fmt.Fprintf(bw, "; Computer: %s\n", h.Computer)
+	}
+	if h.MaxNodes > 0 {
+		fmt.Fprintf(bw, "; MaxNodes: %d\n", h.MaxNodes)
+	}
+	if h.Note != "" {
+		fmt.Fprintf(bw, "; Note: %s\n", h.Note)
+	}
+	for i, j := range jobs {
+		// job_id submit wait runtime procs avg_cpu mem req_procs req_time
+		// req_mem status user group exe queue partition prev think
+		_, err := fmt.Fprintf(bw, "%d %d -1 %d %d -1 -1 %d %d -1 1 %s -1 -1 -1 -1 -1 -1\n",
+			i+1, j.Submit, j.Runtime, j.Nodes, j.Nodes, j.Estimate, swfUser(j))
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func swfUser(j *job.Job) string {
+	if j.User == "" {
+		return "-1"
+	}
+	return j.User
+}
+
+// Read parses an SWF stream into jobs. Malformed lines yield an error
+// with the line number; comment lines (";" prefix) populate the header
+// where recognized. Jobs with non-positive runtime or processors are
+// skipped (cancelled entries), matching common archive practice.
+func Read(r io.Reader) (Header, []*job.Job, error) {
+	var (
+		h    Header
+		jobs []*job.Job
+		sc   = bufio.NewScanner(r)
+		line int
+	)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, ";") {
+			parseHeaderLine(&h, text)
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < swfFields {
+			return h, nil, fmt.Errorf("trace: line %d: %d fields, want %d", line, len(fields), swfFields)
+		}
+		j, err := parseRecord(fields)
+		if err != nil {
+			return h, nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if j == nil {
+			continue // cancelled/invalid entry
+		}
+		j.ID = job.ID(len(jobs))
+		jobs = append(jobs, j)
+	}
+	if err := sc.Err(); err != nil {
+		return h, nil, fmt.Errorf("trace: %w", err)
+	}
+	return h, jobs, nil
+}
+
+func parseHeaderLine(h *Header, text string) {
+	body := strings.TrimSpace(strings.TrimPrefix(text, ";"))
+	switch {
+	case strings.HasPrefix(body, "Computer:"):
+		h.Computer = strings.TrimSpace(strings.TrimPrefix(body, "Computer:"))
+	case strings.HasPrefix(body, "MaxNodes:"):
+		if v, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(body, "MaxNodes:"))); err == nil {
+			h.MaxNodes = v
+		}
+	case strings.HasPrefix(body, "Note:"):
+		h.Note = strings.TrimSpace(strings.TrimPrefix(body, "Note:"))
+	}
+}
+
+func parseRecord(fields []string) (*job.Job, error) {
+	geti := func(i int) (int64, error) {
+		v, err := strconv.ParseInt(fields[i], 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("field %d %q: %w", i, fields[i], err)
+		}
+		return v, nil
+	}
+	submit, err := geti(fieldSubmit)
+	if err != nil {
+		return nil, err
+	}
+	runtime, err := geti(fieldRuntime)
+	if err != nil {
+		return nil, err
+	}
+	procs, err := geti(fieldProcs)
+	if err != nil {
+		return nil, err
+	}
+	reqProcs, err := geti(fieldReqProcs)
+	if err != nil {
+		return nil, err
+	}
+	reqTime, err := geti(fieldReqTime)
+	if err != nil {
+		return nil, err
+	}
+	nodes := reqProcs
+	if nodes <= 0 {
+		nodes = procs
+	}
+	if runtime <= 0 || nodes <= 0 {
+		return nil, nil // cancelled or degenerate record: skip
+	}
+	estimate := reqTime
+	if estimate <= 0 {
+		estimate = runtime // archives without estimates: assume exact
+	}
+	if estimate < runtime {
+		// Kill-at-limit semantics make runtime > estimate impossible in a
+		// consistent record; clamp to the estimate as the archive tools do.
+		runtime = estimate
+	}
+	if submit < 0 {
+		submit = 0
+	}
+	return &job.Job{
+		Submit:   submit,
+		Runtime:  runtime,
+		Estimate: estimate,
+		Nodes:    int(nodes),
+		User:     field(fields, fieldUser),
+	}, nil
+}
+
+func field(fields []string, i int) string {
+	if fields[i] == "-1" {
+		return ""
+	}
+	return fields[i]
+}

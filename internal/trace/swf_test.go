@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"jobsched/internal/job"
+)
+
+func sample() []*job.Job {
+	return []*job.Job{
+		{ID: 0, Submit: 0, Nodes: 4, Estimate: 3600, Runtime: 1800, User: "alice"},
+		{ID: 1, Submit: 60, Nodes: 16, Estimate: 7200, Runtime: 7200},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	h := Header{Computer: "IBM SP2", MaxNodes: 430, Note: "synthetic"}
+	if err := Write(&buf, h, sample()); err != nil {
+		t.Fatal(err)
+	}
+	h2, jobs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Computer != h.Computer || h2.MaxNodes != h.MaxNodes || h2.Note != h.Note {
+		t.Errorf("header round trip: %+v", h2)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("%d jobs", len(jobs))
+	}
+	want := sample()
+	for i, j := range jobs {
+		w := want[i]
+		if j.Submit != w.Submit || j.Nodes != w.Nodes ||
+			j.Estimate != w.Estimate || j.Runtime != w.Runtime {
+			t.Errorf("job %d: got %+v, want %+v", i, j, w)
+		}
+	}
+	if jobs[0].User != "alice" || jobs[1].User != "" {
+		t.Errorf("user fields: %q, %q", jobs[0].User, jobs[1].User)
+	}
+}
+
+func TestReadSkipsCancelledRecords(t *testing.T) {
+	in := strings.Join([]string{
+		"; Note: test",
+		"1 0 -1 100 2 -1 -1 2 200 -1 1 u1 -1 -1 -1 -1 -1 -1",
+		"2 5 -1 -1 2 -1 -1 2 200 -1 0 u2 -1 -1 -1 -1 -1 -1", // runtime -1: skip
+		"3 9 -1 50 0 -1 -1 0 100 -1 1 u3 -1 -1 -1 -1 -1 -1", // 0 procs: skip
+	}, "\n")
+	_, jobs, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 {
+		t.Fatalf("%d jobs, want 1", len(jobs))
+	}
+}
+
+func TestReadClampsRuntimeToEstimate(t *testing.T) {
+	in := "1 0 -1 500 2 -1 -1 2 200 -1 1 -1 -1 -1 -1 -1 -1 -1"
+	_, jobs, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].Runtime != 200 {
+		t.Errorf("runtime = %d, want clamped 200", jobs[0].Runtime)
+	}
+}
+
+func TestReadMissingEstimateAssumesExact(t *testing.T) {
+	in := "1 0 -1 500 2 -1 -1 2 -1 -1 1 -1 -1 -1 -1 -1 -1 -1"
+	_, jobs, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].Estimate != 500 {
+		t.Errorf("estimate = %d, want 500", jobs[0].Estimate)
+	}
+}
+
+func TestReadUsesProcsWhenReqProcsMissing(t *testing.T) {
+	in := "1 0 -1 500 8 -1 -1 -1 600 -1 1 -1 -1 -1 -1 -1 -1 -1"
+	_, jobs, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].Nodes != 8 {
+		t.Errorf("nodes = %d, want 8", jobs[0].Nodes)
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"1 2 3", // too few fields
+		strings.Replace("1 0 -1 500 2 -1 -1 2 200 -1 1 -1 -1 -1 -1 -1 -1 -1", "500", "xx", 1),
+	}
+	for _, in := range cases {
+		if _, _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("malformed line accepted: %q", in)
+		}
+	}
+}
+
+func TestReadNegativeSubmitClamped(t *testing.T) {
+	in := "1 -50 -1 100 2 -1 -1 2 200 -1 1 -1 -1 -1 -1 -1 -1 -1"
+	_, jobs, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].Submit != 0 {
+		t.Errorf("submit = %d, want 0", jobs[0].Submit)
+	}
+}
+
+func TestReadEmptyAndCommentsOnly(t *testing.T) {
+	_, jobs, err := Read(strings.NewReader("; Computer: x\n\n;\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 0 {
+		t.Fatal("jobs from comments")
+	}
+}
+
+func TestReadAssignsDenseIDs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{}, sample()); err != nil {
+		t.Fatal(err)
+	}
+	_, jobs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range jobs {
+		if j.ID != job.ID(i) {
+			t.Errorf("job %d has ID %d", i, j.ID)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package workload
+
+import (
+	"math"
+	"sort"
+
+	"jobsched/internal/job"
+	"jobsched/internal/stats"
+)
+
+// CTCConfig parameterizes the synthetic CTC trace model. The defaults
+// are calibrated to the published characteristics of the CTC SP2 batch
+// workload (Hotovy, JSSPP'96; Feitelson's Parallel Workloads Archive):
+// 430-node batch partition, ~11 months, power-of-two–biased job widths
+// with < 0.2% of jobs above 256 nodes, LoadLeveler runtime-limit classes,
+// substantial user overestimation, day/week submission cycles, and
+// ≈ 55–60% offered load.
+type CTCConfig struct {
+	// Jobs is the number of jobs to generate (paper: 79,164).
+	Jobs int
+	// MachineNodes is the traced machine's batch partition (430).
+	MachineNodes int
+	// SpanSeconds is the target trace duration (~11 months).
+	SpanSeconds int64
+	// TargetLoad is the offered utilization on MachineNodes (0.58).
+	TargetLoad float64
+	// Seed drives all sampling.
+	Seed int64
+}
+
+// DefaultCTCConfig returns the paper-scale configuration.
+func DefaultCTCConfig() CTCConfig {
+	return CTCConfig{
+		Jobs:         CTCJobs,
+		MachineNodes: 430,
+		SpanSeconds:  334 * 24 * 3600, // July 1996 – May 1997
+		// 0.66 offered load on 430 nodes ≈ 1.10 on the 256-node batch
+		// partition — the sustained-overload regime whose growing backlog
+		// the paper reports for the replayed trace ("a machine with 256
+		// nodes will experience a larger backlog which results in a longer
+		// average response time"). Calibrated against the Table 3 shapes;
+		// see EXPERIMENTS.md.
+		TargetLoad: 0.66,
+		Seed:       1,
+	}
+}
+
+// ctcNodeDist is the job-width distribution: strong mass on small and
+// power-of-two widths, a thin tail above 256 nodes (< 0.2% of jobs, the
+// fraction the paper deletes when replaying on the 256-node machine).
+func ctcNodeDist() *stats.Discrete {
+	values := []int64{1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 24, 32, 48, 64, 96, 128, 160, 200, 256, 288, 330, 430}
+	weights := []float64{
+		0.24, 0.09, 0.03, 0.10, 0.02, 0.02, 0.10, 0.02, 0.02, 0.10,
+		0.02, 0.08, 0.015, 0.06, 0.01, 0.035, 0.004, 0.003, 0.013,
+		0.0008, 0.0006, 0.0005,
+	}
+	return stats.NewDiscrete(values, weights)
+}
+
+// loadLevelerClasses are the runtime-limit classes users pick from
+// (LoadLeveler queue limits at the CTC): 15 min to 18 h.
+var loadLevelerClasses = []int64{900, 1800, 3600, 7200, 14400, 21600, 43200, 64800}
+
+// CTC generates the synthetic CTC-like trace. Jobs are returned in
+// submission order with dense IDs; every job satisfies strict validation
+// (runtime <= estimate <= largest class).
+func CTC(cfg CTCConfig) []*job.Job {
+	if cfg.Jobs <= 0 || cfg.MachineNodes <= 0 || cfg.SpanSeconds <= 0 || cfg.TargetLoad <= 0 {
+		panic("workload: invalid CTC config")
+	}
+	rArr := stats.Split(cfg.Seed, 1)
+	rNode := stats.Split(cfg.Seed, 2)
+	rRun := stats.Split(cfg.Seed, 3)
+	rEst := stats.Split(cfg.Seed, 4)
+
+	nodes := ctcNodeDist()
+	rate := stats.DailyWeeklyRate(0.25, 0.5)
+
+	// Calibrate the peak arrival rate so that cfg.Jobs arrivals span
+	// roughly cfg.SpanSeconds: peak = n / (meanModulation × span).
+	meanMod := meanModulation(rate)
+	peak := float64(cfg.Jobs) / (meanMod * float64(cfg.SpanSeconds))
+	arrivals := stats.PoissonArrivals(rArr, cfg.Jobs, peak, 7*24*3600, rate)
+
+	// Calibrate runtimes so the offered load hits the target:
+	// meanArea = TargetLoad × MachineNodes × Span / Jobs. Widths and
+	// runtimes are sampled independently (log-uniform runtimes), then the
+	// runtime scale is set from the achieved mean width.
+	jobs := make([]*job.Job, cfg.Jobs)
+	var meanNodes float64
+	widths := make([]int, cfg.Jobs)
+	for i := range widths {
+		widths[i] = int(nodes.Sample(rNode))
+		meanNodes += float64(widths[i])
+	}
+	meanNodes /= float64(cfg.Jobs)
+	wantMeanArea := cfg.TargetLoad * float64(cfg.MachineNodes) * float64(cfg.SpanSeconds) / float64(cfg.Jobs)
+	wantMeanRuntime := wantMeanArea / meanNodes
+	lo, hi := runtimeRange(wantMeanRuntime)
+
+	for i := range jobs {
+		runtime := int64(stats.LogUniform(rRun, lo, hi))
+		if runtime < 1 {
+			runtime = 1
+		}
+		maxClass := loadLevelerClasses[len(loadLevelerClasses)-1]
+		if runtime > maxClass {
+			runtime = maxClass
+		}
+		// Users overestimate: pick the smallest limit class covering
+		// runtime × f with f log-uniform in [1, 8].
+		f := stats.LogUniform(rEst, 1, 8)
+		want := int64(float64(runtime) * f)
+		estimate := maxClass
+		for _, c := range loadLevelerClasses {
+			if c >= want && c >= runtime {
+				estimate = c
+				break
+			}
+		}
+		jobs[i] = &job.Job{
+			ID:       job.ID(i),
+			Submit:   arrivals[i],
+			Nodes:    widths[i],
+			Runtime:  runtime,
+			Estimate: estimate,
+		}
+	}
+	sort.SliceStable(jobs, func(a, b int) bool { return jobs[a].Submit < jobs[b].Submit })
+	job.Renumber(jobs)
+	if err := validateAll(jobs, cfg.MachineNodes); err != nil {
+		panic(err)
+	}
+	return jobs
+}
+
+// runtimeRange returns log-uniform bounds [lo, hi] whose mean
+// (hi-lo)/ln(hi/lo) approximates the wanted mean runtime, anchored at a
+// 10-second minimum and capped at the largest limit class.
+func runtimeRange(wantMean float64) (lo, hi float64) {
+	lo = 10
+	maxClass := float64(loadLevelerClasses[len(loadLevelerClasses)-1])
+	// Solve (hi-lo)/ln(hi/lo) = wantMean for hi by bisection.
+	f := func(h float64) float64 {
+		return (h - lo) / logRatio(h, lo)
+	}
+	a, b := lo*1.01, maxClass
+	if f(b) <= wantMean {
+		return lo, maxClass
+	}
+	for i := 0; i < 100; i++ {
+		mid := (a + b) / 2
+		if f(mid) < wantMean {
+			a = mid
+		} else {
+			b = mid
+		}
+	}
+	return lo, (a + b) / 2
+}
+
+func logRatio(h, l float64) float64 {
+	return math.Log(h / l)
+}
+
+// meanModulation numerically averages a rate function over one week.
+func meanModulation(rate stats.RateFunc) float64 {
+	const step = 600 // 10-minute resolution
+	var sum float64
+	n := 0
+	for t := int64(0); t < 7*24*3600; t += step {
+		sum += rate(t)
+		n++
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"sort"
+	"testing"
+
+	"jobsched/internal/job"
+)
+
+func smallFeitelson(jobs int, seed int64) FeitelsonConfig {
+	cfg := DefaultFeitelsonConfig()
+	cfg.Jobs = jobs
+	cfg.Seed = seed
+	return cfg
+}
+
+func TestFeitelsonJobCountAndValidity(t *testing.T) {
+	jobs := Feitelson(smallFeitelson(5000, 1))
+	if len(jobs) != 5000 {
+		t.Fatalf("generated %d jobs", len(jobs))
+	}
+	for i, j := range jobs {
+		if err := j.Validate(256, true); err != nil {
+			t.Fatal(err)
+		}
+		if j.ID != job.ID(i) {
+			t.Fatal("IDs not dense")
+		}
+	}
+	if !sort.SliceIsSorted(jobs, func(a, b int) bool {
+		return jobs[a].Submit < jobs[b].Submit
+	}) {
+		t.Fatal("not in submission order")
+	}
+}
+
+func TestFeitelsonPow2Emphasis(t *testing.T) {
+	jobs := Feitelson(smallFeitelson(30000, 2))
+	pow2, other := 0, 0
+	for _, j := range jobs {
+		if j.Nodes&(j.Nodes-1) == 0 {
+			pow2++
+		} else {
+			other++
+		}
+	}
+	frac := float64(pow2) / float64(pow2+other)
+	// Powers of two are 9 of 256 sizes but must attract a large share.
+	if frac < 0.5 {
+		t.Errorf("power-of-two fraction = %.2f, want > 0.5", frac)
+	}
+}
+
+func TestFeitelsonSizeLengthCorrelation(t *testing.T) {
+	jobs := Feitelson(smallFeitelson(30000, 3))
+	var smallSum, smallN, bigSum, bigN float64
+	for _, j := range jobs {
+		if j.Nodes <= 4 {
+			smallSum += float64(j.Runtime)
+			smallN++
+		} else if j.Nodes >= 64 {
+			bigSum += float64(j.Runtime)
+			bigN++
+		}
+	}
+	if smallN == 0 || bigN == 0 {
+		t.Fatal("size classes not populated")
+	}
+	if bigSum/bigN <= smallSum/smallN {
+		t.Errorf("big jobs (%.0f s mean) not longer than small jobs (%.0f s mean)",
+			bigSum/bigN, smallSum/smallN)
+	}
+}
+
+func TestFeitelsonBurstsRepeatJobs(t *testing.T) {
+	jobs := Feitelson(smallFeitelson(20000, 4))
+	// Bursts resubmit identical (nodes, runtime) pairs: the number of
+	// distinct pairs must be clearly below the job count.
+	type key struct {
+		n int
+		r int64
+	}
+	distinct := map[key]bool{}
+	for _, j := range jobs {
+		distinct[key{j.Nodes, j.Runtime}] = true
+	}
+	if frac := float64(len(distinct)) / float64(len(jobs)); frac > 0.6 {
+		t.Errorf("distinct job fraction = %.2f — bursts missing", frac)
+	}
+}
+
+func TestFeitelsonDeterministic(t *testing.T) {
+	a := Feitelson(smallFeitelson(1000, 5))
+	b := Feitelson(smallFeitelson(1000, 5))
+	for i := range a {
+		if *a[i] != *b[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestFeitelsonPanicsOnBadConfig(t *testing.T) {
+	bad := []FeitelsonConfig{
+		{},
+		{Jobs: 10, MaxNodes: 8, MeanInterarrival: 0, Pow2Boost: 0.2, RepeatProb: 0.5},
+		{Jobs: 10, MaxNodes: 8, MeanInterarrival: 60, Pow2Boost: 1, RepeatProb: 0.5},
+		{Jobs: 10, MaxNodes: 8, MeanInterarrival: 60, Pow2Boost: 0.2, RepeatProb: 1},
+	}
+	for _, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for %+v", cfg)
+				}
+			}()
+			Feitelson(cfg)
+		}()
+	}
+}

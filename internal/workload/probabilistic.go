@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"jobsched/internal/job"
+	"jobsched/internal/stats"
+)
+
+// Model is the probability-distribution workload model of Section 6.2,
+// extracted from a workload trace: "a Weibull distribution matches best
+// the submission times of the jobs in the trace. ... bins are created for
+// every possible requested resource number (between 1 and 256), various
+// ranges of requested time and of actual execution length. Then
+// probability values are calculated for each bin from the CTC trace."
+type Model struct {
+	// Interarrival is the Weibull fit of the submission process.
+	Interarrival stats.Weibull
+	// Joint carries, per node count, the binned requested-time and
+	// actual-runtime distributions.
+	Joint *stats.JointHistogram
+	// MaxNodes is the widest job observed.
+	MaxNodes int
+}
+
+// FitModel extracts a Model from a trace. timeBins are the bounds of the
+// requested/actual time ranges; nil selects geometric bins ]0,64],
+// ]64,128], … ]·, 2^17] covering up to ~36 h, a resolution comparable to
+// the paper's "various ranges".
+func FitModel(jobs []*job.Job, timeBins []int64) (*Model, error) {
+	if len(jobs) < 2 {
+		return nil, fmt.Errorf("workload: need at least 2 jobs to fit a model")
+	}
+	if timeBins == nil {
+		timeBins = stats.GeometricBounds(64, 2, 131072)
+	}
+	sorted := job.SortBySubmit(job.CloneAll(jobs))
+
+	inter := make([]float64, 0, len(sorted)-1)
+	for i := 1; i < len(sorted); i++ {
+		d := float64(sorted[i].Submit - sorted[i-1].Submit)
+		if d < 1 {
+			d = 1 // Weibull support is positive; merge simultaneous submits
+		}
+		inter = append(inter, d)
+	}
+	w, err := stats.FitWeibull(inter)
+	if err != nil {
+		return nil, fmt.Errorf("workload: interarrival fit: %w", err)
+	}
+
+	m := &Model{Interarrival: w, Joint: stats.NewJointHistogram(timeBins)}
+	for _, j := range sorted {
+		m.Joint.Add(j.Nodes, j.Estimate, j.Runtime)
+		if j.Nodes > m.MaxNodes {
+			m.MaxNodes = j.Nodes
+		}
+	}
+	return m, nil
+}
+
+// Generate samples n jobs from the model. Submission times are cumulated
+// Weibull interarrivals; node counts, requested times and actual runtimes
+// come from the fitted bins; runtime <= estimate is enforced.
+func (m *Model) Generate(n int, seed int64) []*job.Job {
+	if n <= 0 {
+		panic("workload: Generate needs n > 0")
+	}
+	rArr := stats.Split(seed, 10)
+	rJob := stats.Split(seed, 11)
+	jobs := make([]*job.Job, n)
+	var t int64
+	for i := 0; i < n; i++ {
+		t += int64(m.Interarrival.Sample(rArr))
+		nodes, est, run := m.Joint.Sample(rJob)
+		jobs[i] = &job.Job{
+			ID:       job.ID(i),
+			Submit:   t,
+			Nodes:    nodes,
+			Estimate: est,
+			Runtime:  run,
+		}
+	}
+	sort.SliceStable(jobs, func(a, b int) bool { return jobs[a].Submit < jobs[b].Submit })
+	job.Renumber(jobs)
+	if err := validateAll(jobs, m.MaxNodes); err != nil {
+		panic(err)
+	}
+	return jobs
+}
+
+// Probabilistic is the convenience path used by the evaluation: fit a
+// model to the given trace and sample n jobs. It mirrors the paper's
+// "this generates a workload that is very similar to the CTC data set".
+func Probabilistic(trace []*job.Job, n int, seed int64) ([]*job.Job, error) {
+	m, err := FitModel(trace, nil)
+	if err != nil {
+		return nil, err
+	}
+	return m.Generate(n, seed), nil
+}

@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"jobsched/internal/job"
+	"jobsched/internal/trace"
+)
+
+func TestFitModelAndGenerate(t *testing.T) {
+	src := CTC(smallCTC(10000, 11))
+	m, err := FitModel(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Interarrival.K <= 0 || m.Interarrival.Lambda <= 0 {
+		t.Fatalf("degenerate Weibull fit: %+v", m.Interarrival)
+	}
+	gen := m.Generate(5000, 12)
+	if len(gen) != 5000 {
+		t.Fatalf("generated %d jobs", len(gen))
+	}
+	for i, j := range gen {
+		if err := j.Validate(m.MaxNodes, true); err != nil {
+			t.Fatalf("generated job invalid: %v", err)
+		}
+		if j.ID != job.ID(i) {
+			t.Fatalf("IDs not dense")
+		}
+	}
+	if !sort.SliceIsSorted(gen, func(a, b int) bool { return gen[a].Submit < gen[b].Submit }) {
+		t.Fatal("not in submission order")
+	}
+}
+
+func TestGeneratedResemblesSource(t *testing.T) {
+	// The paper's consistency requirement: "this generates a workload
+	// that is very similar to the CTC data set". Compare coarse
+	// statistics between source and generated workload.
+	src := CTC(smallCTC(20000, 13))
+	gen, err := Probabilistic(src, 20000, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, gs := trace.Summarize(src), trace.Summarize(gen)
+	relErr := func(a, b float64) float64 { return math.Abs(a-b) / a }
+	if e := relErr(ss.MeanNodes, gs.MeanNodes); e > 0.10 {
+		t.Errorf("mean nodes: src %.1f gen %.1f (%.0f%% off)", ss.MeanNodes, gs.MeanNodes, e*100)
+	}
+	if e := relErr(ss.MeanRuntime, gs.MeanRuntime); e > 0.25 {
+		t.Errorf("mean runtime: src %.0f gen %.0f (%.0f%% off)", ss.MeanRuntime, gs.MeanRuntime, e*100)
+	}
+	if e := relErr(ss.MeanInterarr, gs.MeanInterarr); e > 0.30 {
+		t.Errorf("mean interarrival: src %.0f gen %.0f (%.0f%% off)", ss.MeanInterarr, gs.MeanInterarr, e*100)
+	}
+}
+
+func TestGenerateOnlyObservedNodeCounts(t *testing.T) {
+	src := CTC(smallCTC(5000, 15))
+	m, err := FitModel(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed := map[int]bool{}
+	for _, j := range src {
+		observed[j.Nodes] = true
+	}
+	for _, j := range m.Generate(3000, 16) {
+		if !observed[j.Nodes] {
+			t.Fatalf("generated unobserved node count %d", j.Nodes)
+		}
+	}
+}
+
+func TestFitModelRejectsTinyInput(t *testing.T) {
+	if _, err := FitModel(nil, nil); err == nil {
+		t.Error("nil accepted")
+	}
+	one := []*job.Job{{ID: 0, Nodes: 1, Estimate: 10, Runtime: 5}}
+	if _, err := FitModel(one, nil); err == nil {
+		t.Error("single job accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	src := CTC(smallCTC(3000, 17))
+	m, err := FitModel(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.Generate(1000, 18)
+	b := m.Generate(1000, 18)
+	for i := range a {
+		if *a[i] != *b[i] {
+			t.Fatal("Generate not deterministic")
+		}
+	}
+}
+
+func TestGeneratePanicsOnBadN(t *testing.T) {
+	src := CTC(smallCTC(3000, 19))
+	m, err := FitModel(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	m.Generate(0, 1)
+}

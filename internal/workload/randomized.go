@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"jobsched/internal/job"
+	"jobsched/internal/stats"
+)
+
+// RandomizedConfig holds the Table 2 parameters of the paper's fully
+// randomized workload ("totally randomized data ... to determine the
+// performance of scheduling algorithms even in case of unusual job
+// combinations"), with all parameters equally distributed.
+type RandomizedConfig struct {
+	// Jobs is the number of jobs (paper: 50,000).
+	Jobs int
+	// MaxGap is the largest interarrival gap in seconds. Table 2 demands
+	// at least one job per hour: 3600.
+	MaxGap int64
+	// MinNodes/MaxNodes bound the node request (1–256).
+	MinNodes, MaxNodes int
+	// MinLimit/MaxLimit bound the execution-time upper limit
+	// (5 min – 24 h).
+	MinLimit, MaxLimit int64
+	// MinRuntime bounds the actual execution time below (1 s); the upper
+	// bound is the sampled limit.
+	MinRuntime int64
+	// Seed drives the sampling.
+	Seed int64
+}
+
+// DefaultRandomizedConfig returns the Table 2 parameters at paper scale.
+func DefaultRandomizedConfig() RandomizedConfig {
+	return RandomizedConfig{
+		Jobs:       RandomizedJobs,
+		MaxGap:     3600,
+		MinNodes:   1,
+		MaxNodes:   256,
+		MinLimit:   300,
+		MaxLimit:   86400,
+		MinRuntime: 1,
+		Seed:       1,
+	}
+}
+
+// Randomized generates the Table 2 workload.
+func Randomized(cfg RandomizedConfig) []*job.Job {
+	if cfg.Jobs <= 0 || cfg.MinNodes < 1 || cfg.MaxNodes < cfg.MinNodes ||
+		cfg.MinLimit < 1 || cfg.MaxLimit < cfg.MinLimit || cfg.MinRuntime < 1 {
+		panic("workload: invalid randomized config")
+	}
+	rArr := stats.Split(cfg.Seed, 20)
+	rJob := stats.Split(cfg.Seed, 21)
+	arrivals := stats.UniformArrivals(rArr, cfg.Jobs, cfg.MaxGap)
+	jobs := make([]*job.Job, cfg.Jobs)
+	for i := range jobs {
+		limit := stats.UniformInt(rJob, cfg.MinLimit, cfg.MaxLimit)
+		runtime := stats.UniformInt(rJob, cfg.MinRuntime, limit)
+		jobs[i] = &job.Job{
+			ID:       job.ID(i),
+			Submit:   arrivals[i],
+			Nodes:    int(stats.UniformInt(rJob, int64(cfg.MinNodes), int64(cfg.MaxNodes))),
+			Estimate: limit,
+			Runtime:  runtime,
+		}
+	}
+	if err := validateAll(jobs, cfg.MaxNodes); err != nil {
+		panic(err)
+	}
+	return jobs
+}

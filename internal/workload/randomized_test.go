@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"jobsched/internal/job"
+)
+
+func smallRandomized(jobs int, seed int64) RandomizedConfig {
+	cfg := DefaultRandomizedConfig()
+	cfg.Jobs = jobs
+	cfg.Seed = seed
+	return cfg
+}
+
+func TestRandomizedTable2Ranges(t *testing.T) {
+	// Table 2: submission ≥ 1 job/hour; nodes 1–256; limit 5 min–24 h;
+	// actual 1 s–limit.
+	jobs := Randomized(smallRandomized(20000, 1))
+	prev := int64(0)
+	for _, j := range jobs {
+		if gap := j.Submit - prev; gap < 0 || gap > 3600 {
+			t.Fatalf("interarrival gap %d outside [0,3600]", gap)
+		}
+		prev = j.Submit
+		if j.Nodes < 1 || j.Nodes > 256 {
+			t.Fatalf("nodes %d outside [1,256]", j.Nodes)
+		}
+		if j.Estimate < 300 || j.Estimate > 86400 {
+			t.Fatalf("limit %d outside [300,86400]", j.Estimate)
+		}
+		if j.Runtime < 1 || j.Runtime > j.Estimate {
+			t.Fatalf("runtime %d outside [1,limit]", j.Runtime)
+		}
+	}
+}
+
+func TestRandomizedCoversExtremes(t *testing.T) {
+	jobs := Randomized(smallRandomized(50000, 2))
+	var sawThin, sawWide, sawShortLimit, sawLongLimit bool
+	for _, j := range jobs {
+		if j.Nodes == 1 {
+			sawThin = true
+		}
+		if j.Nodes == 256 {
+			sawWide = true
+		}
+		if j.Estimate < 600 {
+			sawShortLimit = true
+		}
+		if j.Estimate > 80000 {
+			sawLongLimit = true
+		}
+	}
+	if !sawThin || !sawWide || !sawShortLimit || !sawLongLimit {
+		t.Errorf("extremes not covered: thin=%v wide=%v short=%v long=%v",
+			sawThin, sawWide, sawShortLimit, sawLongLimit)
+	}
+}
+
+func TestRandomizedDeterministic(t *testing.T) {
+	a := Randomized(smallRandomized(1000, 3))
+	b := Randomized(smallRandomized(1000, 3))
+	for i := range a {
+		if *a[i] != *b[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestRandomizedJobsValidProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		jobs := Randomized(smallRandomized(200, seed))
+		for i, j := range jobs {
+			if j.Validate(256, true) != nil || j.ID != job.ID(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomizedPanicsOnBadConfig(t *testing.T) {
+	bad := []RandomizedConfig{
+		{},
+		{Jobs: 10, MinNodes: 0, MaxNodes: 5, MinLimit: 1, MaxLimit: 2, MinRuntime: 1},
+		{Jobs: 10, MinNodes: 5, MaxNodes: 4, MinLimit: 1, MaxLimit: 2, MinRuntime: 1},
+		{Jobs: 10, MinNodes: 1, MaxNodes: 4, MinLimit: 9, MaxLimit: 2, MinRuntime: 1},
+		{Jobs: 10, MinNodes: 1, MaxNodes: 4, MinLimit: 1, MaxLimit: 2, MinRuntime: 0},
+	}
+	for _, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for %+v", cfg)
+				}
+			}()
+			Randomized(cfg)
+		}()
+	}
+}

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"testing"
+
+	"jobsched/internal/job"
+	"jobsched/internal/stats"
+)
+
+// TestProbabilisticModelKS applies the paper's Section 6.2 verification
+// ("conformity with future real job data is essential and must be
+// verified") mechanically: Kolmogorov–Smirnov tests between the source
+// trace and the generated workload on the distributions the model is
+// supposed to preserve.
+func TestProbabilisticModelKS(t *testing.T) {
+	src := CTC(smallCTC(20000, 41))
+	gen, err := Probabilistic(src, 20000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	interarrivals := func(jobs []*job.Job) []float64 {
+		sorted := job.SortBySubmit(job.CloneAll(jobs))
+		out := make([]float64, 0, len(sorted)-1)
+		for i := 1; i < len(sorted); i++ {
+			out = append(out, float64(sorted[i].Submit-sorted[i-1].Submit))
+		}
+		return out
+	}
+	runtimes := func(jobs []*job.Job) []float64 {
+		out := make([]float64, len(jobs))
+		for i, j := range jobs {
+			out[i] = float64(j.Runtime)
+		}
+		return out
+	}
+	nodes := func(jobs []*job.Job) []float64 {
+		out := make([]float64, len(jobs))
+		for i, j := range jobs {
+			out[i] = float64(j.Nodes)
+		}
+		return out
+	}
+
+	// The model is an approximation (Weibull interarrivals, binned
+	// times), so instead of a strict hypothesis test at huge n — which
+	// rejects any approximation — we require the KS distance itself to
+	// be small: distributions within a few percent everywhere.
+	cases := []struct {
+		name    string
+		a, b    []float64
+		maxDist float64
+	}{
+		{"interarrival", interarrivals(src), interarrivals(gen), 0.08},
+		{"runtime", runtimes(src), runtimes(gen), 0.05},
+		{"nodes", nodes(src), nodes(gen), 0.03},
+	}
+	for _, c := range cases {
+		d := stats.KSStatistic(c.a, c.b)
+		if d > c.maxDist {
+			t.Errorf("%s: KS distance %.4f > %.4f", c.name, d, c.maxDist)
+		} else {
+			t.Logf("%s: KS distance %.4f (bound %.4f)", c.name, d, c.maxDist)
+		}
+	}
+}
+
+// TestWeibullFitQuality validates the fitted submission model against
+// its own sample — the one-sample KS distance of the source
+// interarrivals against the fitted Weibull CDF must be moderate (the
+// true process is only approximately Weibull; the paper's phrasing is
+// "a Weibull distribution matches best").
+func TestWeibullFitQuality(t *testing.T) {
+	src := CTC(smallCTC(20000, 43))
+	m, err := FitModel(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := job.SortBySubmit(job.CloneAll(src))
+	inter := make([]float64, 0, len(sorted)-1)
+	for i := 1; i < len(sorted); i++ {
+		d := float64(sorted[i].Submit - sorted[i-1].Submit)
+		if d < 1 {
+			d = 1
+		}
+		inter = append(inter, d)
+	}
+	d := stats.KSAgainstCDF(inter, m.Interarrival.CDF)
+	if d > 0.10 {
+		t.Errorf("Weibull fit KS distance %.4f > 0.10 — fit degraded", d)
+	} else {
+		t.Logf("Weibull fit KS distance %.4f", d)
+	}
+}

@@ -1,0 +1,38 @@
+// Package workload implements the three workload classes of the paper's
+// Section 6:
+//
+//   - a CTC-like trace model (substituting the real Cornell Theory Center
+//     trace, which is not redistributable — see DESIGN.md §3),
+//   - a probability-distribution workload fitted from a trace
+//     (Weibull submission model + per-node-count time histograms), and
+//   - a fully randomized workload (Table 2).
+//
+// All generators are deterministic given a seed.
+package workload
+
+import (
+	"fmt"
+
+	"jobsched/internal/job"
+)
+
+// Paper-scale job counts (Table 1).
+const (
+	// CTCJobs is the CTC workload size of Table 1.
+	CTCJobs = 79164
+	// ProbabilisticJobs is the probability-distribution workload size.
+	ProbabilisticJobs = 50000
+	// RandomizedJobs is the randomized workload size.
+	RandomizedJobs = 50000
+)
+
+// Validate checks every generated job against the machine and strict
+// kill-at-limit consistency; generators call it before returning.
+func validateAll(jobs []*job.Job, maxNodes int) error {
+	for _, j := range jobs {
+		if err := j.Validate(maxNodes, true); err != nil {
+			return fmt.Errorf("workload: generated invalid job: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"jobsched/internal/job"
+	"jobsched/internal/trace"
+)
+
+// smallCTC returns a scaled-down CTC config for test speed.
+func smallCTC(jobs int, seed int64) CTCConfig {
+	cfg := DefaultCTCConfig()
+	cfg.SpanSeconds = cfg.SpanSeconds * int64(jobs) / int64(cfg.Jobs)
+	cfg.Jobs = jobs
+	cfg.Seed = seed
+	return cfg
+}
+
+func TestCTCJobCount(t *testing.T) {
+	jobs := CTC(smallCTC(5000, 1))
+	if len(jobs) != 5000 {
+		t.Fatalf("generated %d jobs", len(jobs))
+	}
+}
+
+func TestCTCPaperScaleConstant(t *testing.T) {
+	// Table 1 job counts.
+	if CTCJobs != 79164 || ProbabilisticJobs != 50000 || RandomizedJobs != 50000 {
+		t.Fatal("Table 1 constants drifted")
+	}
+	if DefaultCTCConfig().Jobs != CTCJobs {
+		t.Fatal("default config not paper scale")
+	}
+}
+
+func TestCTCJobsAreValidAndSorted(t *testing.T) {
+	jobs := CTC(smallCTC(5000, 2))
+	for i, j := range jobs {
+		if err := j.Validate(430, true); err != nil {
+			t.Fatalf("job %d invalid: %v", i, err)
+		}
+		if j.ID != job.ID(i) {
+			t.Fatalf("IDs not dense: %d at %d", j.ID, i)
+		}
+	}
+	if !sort.SliceIsSorted(jobs, func(a, b int) bool {
+		return jobs[a].Submit < jobs[b].Submit
+	}) {
+		t.Fatal("jobs not in submission order")
+	}
+}
+
+func TestCTCWideJobFractionMatchesPaper(t *testing.T) {
+	// "less than 0.2% of all jobs require more than 256 nodes" — allow
+	// up to 0.5% for sampling noise at moderate size, and require the
+	// tail to exist at paper-relevant sizes.
+	jobs := CTC(smallCTC(30000, 3))
+	wide := 0
+	for _, j := range jobs {
+		if j.Nodes > 256 {
+			wide++
+		}
+	}
+	frac := float64(wide) / float64(len(jobs))
+	if frac > 0.005 {
+		t.Errorf("wide-job fraction = %.4f%%, want < 0.5%%", frac*100)
+	}
+	if wide == 0 {
+		t.Error("no jobs above 256 nodes at all; tail missing")
+	}
+}
+
+func TestCTCOfferedLoadNearTarget(t *testing.T) {
+	cfg := smallCTC(20000, 4)
+	jobs := CTC(cfg)
+	load := trace.OfferedLoad(jobs, cfg.MachineNodes)
+	if math.Abs(load-cfg.TargetLoad) > 0.12 {
+		t.Errorf("offered load = %.3f, want ≈ %.2f", load, cfg.TargetLoad)
+	}
+}
+
+func TestCTCEstimatesAreLimitClasses(t *testing.T) {
+	jobs := CTC(smallCTC(2000, 5))
+	classes := map[int64]bool{}
+	for _, c := range loadLevelerClasses {
+		classes[c] = true
+	}
+	for _, j := range jobs {
+		if !classes[j.Estimate] {
+			t.Fatalf("estimate %d is not a limit class", j.Estimate)
+		}
+		if j.Runtime > j.Estimate {
+			t.Fatalf("runtime above limit")
+		}
+	}
+}
+
+func TestCTCOverestimationPresent(t *testing.T) {
+	jobs := CTC(smallCTC(5000, 6))
+	s := trace.Summarize(jobs)
+	if s.OverestFactor < 1.5 {
+		t.Errorf("mean overestimation = %.2f, want substantial (> 1.5)", s.OverestFactor)
+	}
+}
+
+func TestCTCDeterministicAcrossCalls(t *testing.T) {
+	a := CTC(smallCTC(1000, 7))
+	b := CTC(smallCTC(1000, 7))
+	for i := range a {
+		if *a[i] != *b[i] {
+			t.Fatalf("job %d differs between runs with equal seeds", i)
+		}
+	}
+	c := CTC(smallCTC(1000, 8))
+	same := true
+	for i := range a {
+		if *a[i] != *c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestCTCDailyCycleVisible(t *testing.T) {
+	jobs := CTC(smallCTC(20000, 9))
+	day, night := 0, 0
+	for _, j := range jobs {
+		h := (j.Submit % 86400) / 3600
+		if h >= 7 && h < 20 {
+			day++
+		} else {
+			night++
+		}
+	}
+	frac := float64(day) / float64(day+night)
+	if frac < 0.65 {
+		t.Errorf("prime-time submission fraction = %.2f, want > 0.65", frac)
+	}
+}
+
+func TestCTCPanicsOnBadConfig(t *testing.T) {
+	for _, cfg := range []CTCConfig{
+		{},
+		{Jobs: 10},
+		{Jobs: 10, MachineNodes: 4},
+		{Jobs: 10, MachineNodes: 4, SpanSeconds: 100},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for %+v", cfg)
+				}
+			}()
+			CTC(cfg)
+		}()
+	}
+}
+
+func TestRuntimeRangeMeanApproximation(t *testing.T) {
+	lo, hi := runtimeRange(5000)
+	mean := (hi - lo) / math.Log(hi/lo)
+	if math.Abs(mean-5000)/5000 > 0.02 {
+		t.Errorf("calibrated mean = %v, want ≈ 5000", mean)
+	}
+	// Unreachable target clamps at the largest class.
+	_, hi = runtimeRange(1e12)
+	if hi != float64(loadLevelerClasses[len(loadLevelerClasses)-1]) {
+		t.Errorf("uncapped hi = %v", hi)
+	}
+}
