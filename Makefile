@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: check build test vet race bench-smoke bench
+
+# Tier-1 gate: vet + build + race-enabled tests + bench smoke.
+check:
+	./scripts/check.sh
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Perf-harness smoke run (tiny benchtime, no file written).
+bench-smoke:
+	$(GO) run ./cmd/bench -quick -out ""
+
+# Full perf harness: regenerates BENCH_1.json (see DESIGN.md §7).
+bench:
+	$(GO) run ./cmd/bench

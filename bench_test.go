@@ -113,6 +113,43 @@ func BenchmarkTable6_ExactRuntimes(b *testing.B) {
 	gridBench(b, "CTC workload, exact runtimes", trace.WithExactEstimates(benchCTC))
 }
 
+// BenchmarkTableBacklog_Conservative stresses the availability-profile
+// core on a large synthetic backlog: a saturated randomized workload
+// (arrival rate far above capacity, so the wait queue grows to hundreds
+// of jobs) over the reservation-heavy grid columns. Conservative
+// backfilling rebuilds the full reservation profile per scheduling pass,
+// so this bench is dominated by profile EarliestFit/Reserve — the perf
+// target of the optimized kernel (see DESIGN.md §perf and BENCH_1.json).
+func BenchmarkTableBacklog_Conservative(b *testing.B) {
+	cfg := workload.DefaultRandomizedConfig()
+	cfg.Jobs = 800
+	cfg.MaxGap = 150
+	cfg.Seed = 9
+	jobs := workload.Randomized(cfg)
+	m := sim.Machine{Nodes: 256}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, err := eval.Run("Backlog workload", m, jobs, eval.Unweighted, eval.Options{
+			Parallel: true,
+			Orders:   []sched.OrderName{sched.OrderFCFS, sched.OrderPSRS},
+			Starts:   []sched.StartName{sched.StartConservative, sched.StartEASY},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(g.Ref.Value, "ref-unweighted-s")
+			var maxQ int
+			for _, c := range g.Cells {
+				if c.MaxQueue > maxQ {
+					maxQ = c.MaxQueue
+				}
+			}
+			b.ReportMetric(float64(maxQ), "max-queue-jobs")
+		}
+	}
+}
+
 // computeTimeBench regenerates a scheduler-computation-time table
 // (serial, measured cells).
 func computeTimeBench(b *testing.B, title string, jobs []*job.Job) {

@@ -1,6 +1,8 @@
 package eval
 
 import (
+	"runtime"
+	"strings"
 	"testing"
 
 	"jobsched/internal/sim"
@@ -34,6 +36,41 @@ func TestGridDeterminism(t *testing.T) {
 	}
 }
 
+// TestGridDeterminismAcrossWorkers: the rendered tables must be
+// byte-identical whatever the worker-pool size — cells only read the
+// shared workload through deep copies and write disjoint result slots, so
+// scheduling decisions cannot depend on execution interleaving. Pool
+// sizes 1, 4 and GOMAXPROCS cover serial, partially overlapped and fully
+// loaded execution.
+func TestGridDeterminismAcrossWorkers(t *testing.T) {
+	cfg := workload.DefaultRandomizedConfig()
+	cfg.Jobs = 300
+	cfg.Seed = 77
+	jobs := workload.Randomized(cfg)
+	render := func(workers int) string {
+		t.Helper()
+		var sb strings.Builder
+		for _, c := range []Case{Unweighted, Weighted} {
+			g, err := Run("workers", sim.Machine{Nodes: 256}, jobs, c,
+				Options{Parallel: true, Workers: workers, Validate: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g.Render(&sb); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return sb.String()
+	}
+	want := render(1)
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+		if got := render(workers); got != want {
+			t.Errorf("tables differ between 1 and %d workers:\n--- workers=1\n%s\n--- workers=%d\n%s",
+				workers, want, workers, got)
+		}
+	}
+}
+
 // TestGridLowerBoundHolds: the theoretical bound must sit below every
 // cell for both cases.
 func TestGridLowerBoundHolds(t *testing.T) {
@@ -43,7 +80,7 @@ func TestGridLowerBoundHolds(t *testing.T) {
 	jobs := workload.Randomized(cfg)
 	for _, c := range []Case{Unweighted, Weighted} {
 		g, err := Run("bound", sim.Machine{Nodes: 256}, jobs, c,
-			Options{Parallel: true})
+			Options{Parallel: true, Validate: true})
 		if err != nil {
 			t.Fatal(err)
 		}

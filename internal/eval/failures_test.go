@@ -34,7 +34,7 @@ func TestAllAlgorithmsSurviveFailureInjection(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			broken, err := sim.Run(sim.Machine{Nodes: 256}, job.CloneAll(jobs), alg,
+			broken, err := sim.RunChecked(sim.Machine{Nodes: 256}, job.CloneAll(jobs), alg,
 				sim.Options{Validate: true, Failures: failures})
 			if err != nil {
 				t.Fatalf("%s/%s with failures: %v", o, st, err)
@@ -54,7 +54,7 @@ func TestAllAlgorithmsSurviveFailureInjection(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			clean, err := sim.Run(sim.Machine{Nodes: 256}, job.CloneAll(jobs), alg2,
+			clean, err := sim.RunChecked(sim.Machine{Nodes: 256}, job.CloneAll(jobs), alg2,
 				sim.Options{Validate: true})
 			if err != nil {
 				t.Fatal(err)

@@ -8,6 +8,7 @@ package eval
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -88,9 +89,16 @@ type Grid struct {
 
 // Options tune a grid run.
 type Options struct {
-	// Parallel runs the independent cells concurrently. Leave false when
-	// SchedulerTime must be comparable across cells (Tables 7–8).
+	// Parallel runs the independent cells concurrently on a bounded worker
+	// pool. Leave false when SchedulerTime must be comparable across cells
+	// (Tables 7–8).
 	Parallel bool
+	// Workers bounds the pool size of a Parallel run; 0 means
+	// runtime.GOMAXPROCS(0). Results are independent of the pool size:
+	// every cell simulates a deep-copied workload and writes only its own
+	// slot (the determinism tests assert byte-identical tables across
+	// pool sizes).
+	Workers int
 	// MeasureCPU enables scheduler computation-time capture.
 	MeasureCPU bool
 	// Validate re-checks every produced schedule.
@@ -179,15 +187,33 @@ func Run(title string, m sim.Machine, jobs []*job.Job, c Case, opt Options) (*Gr
 	}
 
 	if opt.Parallel {
+		// Bounded worker pool: a grid is at most a few dozen cells today,
+		// but sweep drivers (cmd/evaluate, capacity studies) stack many
+		// grids, and one goroutine per cell at every layer oversubscribes
+		// the scheduler. Workers defaults to GOMAXPROCS.
+		workers := opt.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > len(cells) {
+			workers = len(cells)
+		}
 		var wg sync.WaitGroup
 		errs := make([]error, len(cells))
-		for i := range cells {
+		idx := make(chan int)
+		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func(i int) {
+			go func() {
 				defer wg.Done()
-				errs[i] = runCell(i)
-			}(i)
+				for i := range idx {
+					errs[i] = runCell(i)
+				}
+			}()
 		}
+		for i := range cells {
+			idx <- i
+		}
+		close(idx)
 		wg.Wait()
 		for _, err := range errs {
 			if err != nil {

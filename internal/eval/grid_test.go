@@ -19,6 +19,10 @@ func smallGrid(t *testing.T, c Case, opt Options) *Grid {
 	cfg.Jobs = 400
 	cfg.Seed = 42
 	jobs := workload.Randomized(cfg)
+	// Every test grid re-validates its schedules (capacity, submission,
+	// kill-at-estimate — sim.Schedule.Validate): an optimized profile
+	// must not be able to produce invalid-but-plausible schedules.
+	opt.Validate = true
 	g, err := Run("test", sim.Machine{Nodes: 256}, jobs, c, opt)
 	if err != nil {
 		t.Fatal(err)

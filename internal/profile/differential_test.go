@@ -1,0 +1,222 @@
+package profile
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// This file implements the differential oracle: the optimized Profile and
+// the brute-force Reference are driven through identical operation
+// sequences decoded from a byte stream, and every observable — query
+// results, canonical step functions, step counts — must match exactly.
+// The same interpreter backs the seeded randomized property test and the
+// FuzzProfileOps fuzz target.
+
+// opReader decodes interpreter operands from a byte stream.
+type opReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *opReader) done() bool { return r.pos >= len(r.data) }
+
+func (r *opReader) byte() byte {
+	if r.done() {
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+// time decodes a small event time; a handful of hot values force step
+// collisions and coalescing.
+func (r *opReader) time() int64 { return int64(r.byte()) }
+
+// duration decodes a window length, occasionally huge to exercise the
+// start+duration overflow clamp near Infinity.
+func (r *opReader) duration() int64 {
+	b := r.byte()
+	switch b % 16 {
+	case 0:
+		return Infinity
+	case 1:
+		return Infinity - int64(r.byte())
+	default:
+		return 1 + int64(b)
+	}
+}
+
+// reservation is a ledger entry: an interval currently reserved on both
+// profiles, so that partial Releases stay feasible by construction.
+type reservation struct {
+	width      int
+	start, end int64
+}
+
+// runDifferential interprets one op sequence against both implementations
+// and fails on the first divergence.
+func runDifferential(t *testing.T, data []byte) {
+	t.Helper()
+	r := &opReader{data: data}
+	nodes := 1 + int(r.byte()%64)
+	from := r.time()
+	opt := New(nodes, from)
+	ref := NewReference(nodes, from)
+	var ledger []reservation
+
+	check := func(op string, got, want int64) {
+		if got != want {
+			t.Fatalf("%s diverged: optimized %d, reference %d\noptimized: %v\nreference: %v",
+				op, got, want, opt, ref)
+		}
+	}
+
+	for ops := 0; !r.done() && ops < 512; ops++ {
+		switch r.byte() % 6 {
+		case 0: // EarliestFit
+			w := 1 + int(r.byte())%nodes
+			d := r.duration()
+			nb := r.time()
+			check("EarliestFit", opt.EarliestFit(w, d, nb), ref.EarliestFit(w, d, nb))
+		case 1: // Reserve a feasible interval found by the oracle
+			w := 1 + int(r.byte())%nodes
+			d := r.duration()
+			nb := r.time()
+			at := ref.EarliestFit(w, d, nb)
+			check("EarliestFit(pre-Reserve)", opt.EarliestFit(w, d, nb), at)
+			if at == Infinity {
+				continue
+			}
+			end := at + d
+			if end < at { // overflow: permanent reservation
+				end = Infinity
+			}
+			opt.Reserve(w, at, end)
+			ref.Reserve(w, at, end)
+			ledger = append(ledger, reservation{width: w, start: at, end: end})
+		case 2: // Release the tail of an outstanding reservation
+			if len(ledger) == 0 {
+				continue
+			}
+			i := int(r.byte()) % len(ledger)
+			res := ledger[i]
+			span := res.end - res.start
+			cut := res.start
+			if span > 1 {
+				cut += int64(r.byte()) % span
+			}
+			opt.Release(res.width, cut, res.end)
+			ref.Release(res.width, cut, res.end)
+			if cut == res.start {
+				ledger = append(ledger[:i], ledger[i+1:]...)
+			} else {
+				ledger[i].end = cut
+			}
+		case 3: // MinFree
+			lo := r.time()
+			hi := lo + 1 + int64(r.byte())
+			check("MinFree", int64(opt.MinFree(lo, hi)), int64(ref.MinFree(lo, hi)))
+		case 4: // FreeAt
+			at := r.time()
+			check("FreeAt", int64(opt.FreeAt(at)), int64(ref.FreeAt(at)))
+		case 5: // monotone query run: the cursor fast path must stay exact
+			at := r.time()
+			for k := 0; k < 4; k++ {
+				check("FreeAt(monotone)", int64(opt.FreeAt(at)), int64(ref.FreeAt(at)))
+				at += int64(r.byte() % 8)
+			}
+		}
+		if opt.StepCount() != ref.StepCount() {
+			t.Fatalf("step counts diverged: optimized %d (%v), reference %d (%v)",
+				opt.StepCount(), opt, ref.StepCount(), ref)
+		}
+		if opt.String() != ref.String() {
+			t.Fatalf("canonical forms diverged:\noptimized: %v\nreference: %v", opt, ref)
+		}
+	}
+}
+
+// TestDifferentialRandomOps drives both implementations through seeded
+// randomized op sequences. Any mismatch in EarliestFit, MinFree, FreeAt,
+// Reserve/Release effects, coalescing, or step counts fails the test.
+func TestDifferentialRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xD1FF))
+	for seq := 0; seq < 400; seq++ {
+		data := make([]byte, 64+rng.Intn(512))
+		rng.Read(data)
+		runDifferential(t, data)
+	}
+}
+
+// TestDifferentialAdversarial pins hand-built sequences at the known
+// boundary behaviors: permanently blocked tails (reservations to
+// Infinity), huge durations, and queries before the profile start.
+func TestDifferentialAdversarial(t *testing.T) {
+	nodes := 8
+	opt := New(nodes, 50)
+	ref := NewReference(nodes, 50)
+	mirror := func(f func(p interface {
+		Reserve(int, int64, int64)
+		Release(int, int64, int64)
+	})) {
+		f(opt)
+		f(ref)
+	}
+	mirror(func(p interface {
+		Reserve(int, int64, int64)
+		Release(int, int64, int64)
+	}) {
+		p.Reserve(5, 60, Infinity) // permanent: only 3 free from t=60 on
+		p.Reserve(3, 100, 200)     // fully blocked window inside the tail
+		p.Release(5, 90, 100)      // early-completion handback before it
+	})
+	type q struct {
+		w  int
+		d  int64
+		nb int64
+	}
+	for _, c := range []q{
+		{1, 10, 0}, {1, 10, 1000}, {4, 1, 0}, {4, 1, 70},
+		{4, Infinity, 0}, {1, Infinity, 0}, {8, 1, 0}, {8, 2, 0},
+		{3, Infinity - 1, 55}, {1, 1, Infinity - 1},
+	} {
+		got := opt.EarliestFit(c.w, c.d, c.nb)
+		want := ref.EarliestFit(c.w, c.d, c.nb)
+		if got != want {
+			t.Errorf("EarliestFit(%d,%d,%d): optimized %d, reference %d",
+				c.w, c.d, c.nb, got, want)
+		}
+	}
+	for lo := int64(0); lo < 250; lo += 7 {
+		if a, b := opt.MinFree(lo, lo+13), ref.MinFree(lo, lo+13); a != b {
+			t.Errorf("MinFree(%d,%d): optimized %d, reference %d", lo, lo+13, a, b)
+		}
+		if a, b := opt.FreeAt(lo), ref.FreeAt(lo); a != b {
+			t.Errorf("FreeAt(%d): optimized %d, reference %d", lo, a, b)
+		}
+	}
+	if opt.String() != ref.String() {
+		t.Errorf("canonical forms diverged:\noptimized: %v\nreference: %v", opt, ref)
+	}
+}
+
+// FuzzProfileOps is the fuzz entry of the same differential oracle: the
+// fuzzer mutates the op stream, the interpreter keeps both
+// implementations in lockstep. Run with
+//
+//	go test -fuzz FuzzProfileOps ./internal/profile
+func FuzzProfileOps(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{63, 10, 1, 3, 200, 0, 17, 0, 255, 255, 1, 2, 3, 4, 5, 6, 7, 8})
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 8; i++ {
+		data := make([]byte, 32+rng.Intn(160))
+		rng.Read(data)
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		runDifferential(t, data)
+	})
+}

@@ -8,6 +8,30 @@
 // infinity. All times are estimated: running jobs are entered with their
 // projected completion (start + estimate), which is exactly the
 // information a scheduler legitimately has on-line.
+//
+// # Complexity
+//
+// Profile is the optimized kernel (S = step count):
+//
+//   - EarliestFit is a single forward pass, O(S) worst case: when a step
+//     short of nodes blocks the candidate window, the scan skips ahead and
+//     resumes from the blocking step instead of re-searching from
+//     notBefore (the naive restart scan is O(S²) worst case).
+//   - FreeAt/MinFree/EarliestFit locate their starting step through a
+//     last-query cursor: schedulers query monotonically non-decreasing
+//     times, so the covering step is almost always the cursor's step or
+//     its successor, O(1) amortized; a miss falls back to binary search,
+//     O(log S).
+//   - Reserve/Release split at most two boundaries (memmove insert) and
+//     re-coalesce only at the interval edges — inner boundaries cannot
+//     merge because both sides shift by the same amount — so a reservation
+//     costs O(S) memmove with zero allocations once the backing array is
+//     warm. Reset reuses that array, which is what kills the allocation
+//     storm in conservative backfilling's per-pass profile rebuilds.
+//
+// The original naive implementation is kept alive as Reference, the
+// brute-force oracle of the differential tests (differential_test.go,
+// FuzzProfileOps) and of cmd/bench's before/after numbers (BENCH_1.json).
 package profile
 
 import (
@@ -26,10 +50,18 @@ type step struct {
 }
 
 // Profile is a step function of free nodes over time. The zero value is
-// unusable; create profiles with New.
+// unusable; create profiles with New (or recycle one with Reset).
+//
+// A Profile is not safe for concurrent use: the query cursor mutates on
+// reads. Each simulation goroutine must own its profiles (the evaluation
+// grid gives every cell its own scheduler, so this holds by construction).
 type Profile struct {
 	steps []step
 	nodes int // machine size
+	// cur is the query cursor: the index of the step that covered the last
+	// queried time. Purely a performance hint — seekIndex re-validates it
+	// on every use — so mutations only need to keep it in range lazily.
+	cur int
 }
 
 // New returns a profile for a machine with the given node count, entirely
@@ -47,6 +79,20 @@ func New(nodes int, from int64) *Profile {
 // Nodes returns the machine size.
 func (p *Profile) Nodes() int { return p.nodes }
 
+// Reset reinitializes p to a fully free machine of the given size from
+// time `from` on, reusing the step storage. It is the scratch-profile
+// entry point: a scheduler that rebuilds its reservation profile on every
+// pass calls Reset instead of New and performs zero allocations once the
+// backing array has grown to the working-set size.
+func (p *Profile) Reset(nodes int, from int64) {
+	if nodes <= 0 {
+		panic("profile: machine must have at least one node")
+	}
+	p.nodes = nodes
+	p.steps = append(p.steps[:0], step{at: from, free: nodes})
+	p.cur = 0
+}
+
 // Clone returns an independent deep copy.
 func (p *Profile) Clone() *Profile {
 	c := &Profile{nodes: p.nodes, steps: make([]step, len(p.steps))}
@@ -54,29 +100,62 @@ func (p *Profile) Clone() *Profile {
 	return c
 }
 
+// CloneInto copies p into dst, reusing dst's step storage (the
+// allocation-free counterpart of Clone for scratch pools).
+func (p *Profile) CloneInto(dst *Profile) {
+	dst.nodes = p.nodes
+	dst.steps = append(dst.steps[:0], p.steps...)
+	dst.cur = 0
+}
+
 // FreeAt returns the number of free nodes at time t. Times before the
 // first step report the first step's value.
 func (p *Profile) FreeAt(t int64) int {
-	i := p.stepIndex(t)
-	return p.steps[i].free
+	return p.steps[p.seekIndex(t)].free
 }
 
-// stepIndex returns the index of the step covering time t (the last step
-// with at <= t, clamped to 0).
-func (p *Profile) stepIndex(t int64) int {
-	// First step with at > t, minus one.
-	i := sort.Search(len(p.steps), func(i int) bool { return p.steps[i].at > t })
-	if i == 0 {
-		return 0
+// seekIndex returns the index of the step covering time t (the last step
+// with at <= t, clamped to 0), starting the search at the query cursor:
+// the common monotone-query case resolves in O(1), anything else falls
+// back to a binary search of the relevant side.
+func (p *Profile) seekIndex(t int64) int {
+	i := p.cur
+	if i >= len(p.steps) {
+		i = len(p.steps) - 1
 	}
-	return i - 1
+	if p.steps[i].at > t {
+		// Behind the cursor: binary search the prefix [0, i).
+		j := sort.Search(i, func(k int) bool { return p.steps[k].at > t })
+		if j > 0 {
+			j--
+		}
+		p.cur = j
+		return j
+	}
+	// At or ahead of the cursor: the covering step is almost always the
+	// cursor's or one of the next few; otherwise binary search the suffix.
+	for n := 0; n < 4; n++ {
+		if i+1 >= len(p.steps) || p.steps[i+1].at > t {
+			p.cur = i
+			return i
+		}
+		i++
+	}
+	off := i + 1
+	j := sort.Search(len(p.steps)-off, func(k int) bool { return p.steps[off+k].at > t })
+	i = off + j - 1
+	p.cur = i
+	return i
 }
 
 // splitAt ensures a step boundary exists exactly at time t and returns its
 // index. Times before the first step extend the profile backwards with
-// the first step's value.
-func (p *Profile) splitAt(t int64) int {
-	i := sort.Search(len(p.steps), func(i int) bool { return p.steps[i].at >= t })
+// the first step's value. atLeast is a lower bound on the answer (0 when
+// unknown): Reserve/Release pass the start boundary's index so the end
+// boundary's search skips the prefix.
+func (p *Profile) splitAt(t int64, atLeast int) int {
+	i := atLeast + sort.Search(len(p.steps)-atLeast,
+		func(k int) bool { return p.steps[atLeast+k].at >= t })
 	if i < len(p.steps) && p.steps[i].at == t {
 		return i
 	}
@@ -99,8 +178,8 @@ func (p *Profile) Reserve(nodes int, start, end int64) {
 	if nodes <= 0 || end <= start {
 		panic("profile: Reserve requires positive nodes and start < end")
 	}
-	i := p.splitAt(start)
-	j := p.splitAt(end)
+	i := p.splitAt(start, 0)
+	j := p.splitAt(end, i)
 	for k := i; k < j; k++ {
 		p.steps[k].free -= nodes
 		if p.steps[k].free < 0 {
@@ -108,7 +187,7 @@ func (p *Profile) Reserve(nodes int, start, end int64) {
 				p.steps[k].at, p.steps[k].free, nodes))
 		}
 	}
-	p.coalesce()
+	p.coalesceEdges(i, j)
 }
 
 // Release adds `nodes` free nodes on [start, end). Used when a running
@@ -118,32 +197,43 @@ func (p *Profile) Release(nodes int, start, end int64) {
 	if nodes <= 0 || end <= start {
 		panic("profile: Release requires positive nodes and start < end")
 	}
-	i := p.splitAt(start)
-	j := p.splitAt(end)
+	i := p.splitAt(start, 0)
+	j := p.splitAt(end, i)
 	for k := i; k < j; k++ {
 		p.steps[k].free += nodes
 		if p.steps[k].free > p.nodes {
 			panic(fmt.Sprintf("profile: release beyond machine size at t=%d", p.steps[k].at))
 		}
 	}
-	p.coalesce()
+	p.coalesceEdges(i, j)
 }
 
-// coalesce merges adjacent steps with equal free counts.
-func (p *Profile) coalesce() {
-	out := p.steps[:1]
-	for _, s := range p.steps[1:] {
-		if s.free == out[len(out)-1].free {
-			continue
-		}
-		out = append(out, s)
+// coalesceEdges merges equal-valued neighbors at the boundaries of a
+// range update on [i, j). Interior boundaries cannot merge — both sides
+// shifted by the same amount, and they differed before — so only steps i
+// and j can have become redundant. Removing at most two steps keeps the
+// canonical form without the naive full-slice sweep.
+func (p *Profile) coalesceEdges(i, j int) {
+	// The end boundary first so index i stays valid.
+	if j < len(p.steps) && p.steps[j].free == p.steps[j-1].free {
+		p.steps = append(p.steps[:j], p.steps[j+1:]...)
 	}
-	p.steps = out
+	if i > 0 && p.steps[i].free == p.steps[i-1].free {
+		p.steps = append(p.steps[:i], p.steps[i+1:]...)
+	}
 }
 
 // EarliestFit returns the earliest time >= notBefore at which `nodes`
 // nodes are simultaneously free for `duration` seconds. duration may be
-// huge (estimates of long jobs); overflow is clamped to Infinity.
+// huge (estimates of long jobs); overflow is clamped to Infinity. If no
+// finite start admits the job — the tail of the profile is permanently
+// short of `nodes` free nodes (a reservation ending at Infinity) —
+// Infinity is returned.
+//
+// The scan is a single forward pass with skip-ahead indexing: when a step
+// short of `nodes` blocks the candidate window, the candidate start jumps
+// to the end of the blocking step and the scan resumes there — earlier
+// steps are never revisited, so the whole query is O(S).
 func (p *Profile) EarliestFit(nodes int, duration int64, notBefore int64) int64 {
 	if nodes > p.nodes {
 		panic(fmt.Sprintf("profile: job wants %d nodes on a %d-node machine", nodes, p.nodes))
@@ -151,57 +241,42 @@ func (p *Profile) EarliestFit(nodes int, duration int64, notBefore int64) int64 
 	if duration <= 0 {
 		panic("profile: EarliestFit requires positive duration")
 	}
+	anchor := p.seekIndex(notBefore)
 	start := notBefore
-	i := p.stepIndex(notBefore)
-	for {
-		// Advance to the first step at/after `start` with enough nodes.
-		for i < len(p.steps) {
-			segEnd := Infinity
-			if i+1 < len(p.steps) {
-				segEnd = p.steps[i+1].at
+	if p.steps[anchor].at > start {
+		// notBefore precedes the profile: like the reference, the search
+		// begins at the profile start.
+		start = p.steps[anchor].at
+	}
+	end := start + duration
+	if end < 0 { // overflow near Infinity
+		end = Infinity
+	}
+	for j := anchor; j < len(p.steps); j++ {
+		if p.steps[j].free < nodes {
+			if j+1 >= len(p.steps) {
+				// The profile is permanently short of `nodes` from this
+				// step on: no finite start exists.
+				return Infinity
 			}
-			if p.steps[i].free >= nodes && segEnd > start {
-				break
+			// Blocked: skip ahead. The window restarts at the end of the
+			// blocking step; steps before j+1 are never revisited.
+			start = p.steps[j+1].at
+			end = start + duration
+			if end < 0 {
+				end = Infinity
 			}
-			i++
+			continue
 		}
-		if i >= len(p.steps) {
-			// Unreachable: the last step always has free == nodes count of
-			// an eventually-empty machine only if no permanent reservation
-			// exists; guard anyway.
-			return Infinity
+		segEnd := Infinity
+		if j+1 < len(p.steps) {
+			segEnd = p.steps[j+1].at
 		}
-		if p.steps[i].at > start {
-			start = p.steps[i].at
-		}
-		// Check the window [start, start+duration) stays feasible.
-		end := start + duration
-		if end < 0 { // overflow
-			end = Infinity
-		}
-		ok := true
-		for j := i; j < len(p.steps) && p.steps[j].at < end; j++ {
-			if p.steps[j].free < nodes {
-				// Blocked: restart the search after the blocking step.
-				start = blockEnd(p, j)
-				i = p.stepIndex(start)
-				ok = false
-				break
-			}
-		}
-		if ok {
+		if segEnd >= end {
+			// Every step from the current anchor through j admits the job
+			// and the feasible span now covers [start, start+duration).
 			return start
 		}
-		if start == Infinity {
-			return Infinity
-		}
-	}
-}
-
-// blockEnd returns the end time of the step at index j.
-func blockEnd(p *Profile, j int) int64 {
-	if j+1 < len(p.steps) {
-		return p.steps[j+1].at
 	}
 	return Infinity
 }
@@ -212,7 +287,7 @@ func (p *Profile) MinFree(start, end int64) int {
 	if end <= start {
 		panic("profile: MinFree requires start < end")
 	}
-	i := p.stepIndex(start)
+	i := p.seekIndex(start)
 	min := p.steps[i].free
 	for j := i + 1; j < len(p.steps) && p.steps[j].at < end; j++ {
 		if p.steps[j].free < min {

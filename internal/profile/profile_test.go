@@ -218,6 +218,139 @@ func TestString(t *testing.T) {
 	}
 }
 
+// TestEarliestFitPermanentlyBlockedTail regresses the EarliestFit tail
+// guard: a reservation ending at Infinity leaves the profile permanently
+// short of nodes, so the scan runs off the end of the step slice — a case
+// the original implementation marked "unreachable". Both implementations
+// must report Infinity (no finite start exists) and agree everywhere
+// else.
+func TestEarliestFitPermanentlyBlockedTail(t *testing.T) {
+	p := New(4, 0)
+	ref := NewReference(4, 0)
+	for _, q := range []interface {
+		Reserve(int, int64, int64)
+	}{p, ref} {
+		q.Reserve(2, 10, Infinity) // only 2 free forever from t=10
+	}
+	cases := []struct {
+		w    int
+		d    int64
+		nb   int64
+		want int64
+	}{
+		{3, 10, 0, 0},         // fits exactly in the free head [0,10)
+		{3, 11, 0, Infinity},  // needs the blocked tail: never
+		{3, 1, 20, Infinity},  // notBefore already inside the blocked tail
+		{2, 1000, 0, 0},       // narrow enough for the tail
+		{4, 10, 0, 0},         // whole machine, exactly the head window
+		{4, 11, 0, Infinity},  // whole machine, one second too long
+		{3, 10, 1, Infinity},  // shifted window clips into the tail
+		{1, Infinity, 5, 5},   // huge duration, narrow job: tail admits it
+		{3, Infinity, 0, Infinity},
+	}
+	for _, c := range cases {
+		if got := p.EarliestFit(c.w, c.d, c.nb); got != c.want {
+			t.Errorf("optimized EarliestFit(%d,%d,%d) = %d, want %d", c.w, c.d, c.nb, got, c.want)
+		}
+		if got := ref.EarliestFit(c.w, c.d, c.nb); got != c.want {
+			t.Errorf("reference EarliestFit(%d,%d,%d) = %d, want %d", c.w, c.d, c.nb, got, c.want)
+		}
+	}
+}
+
+// TestEarliestFitFullyReservedLastStep covers the extreme of the tail
+// guard: the last step holds zero free nodes, so nothing fits after it.
+func TestEarliestFitFullyReservedLastStep(t *testing.T) {
+	p := New(4, 0)
+	ref := NewReference(4, 0)
+	p.Reserve(4, 10, Infinity)
+	ref.Reserve(4, 10, Infinity)
+	for _, impl := range []struct {
+		name string
+		fit  func(int, int64, int64) int64
+	}{{"optimized", p.EarliestFit}, {"reference", ref.EarliestFit}} {
+		if got := impl.fit(1, 10, 0); got != 0 {
+			t.Errorf("%s: head window fit = %d, want 0", impl.name, got)
+		}
+		if got := impl.fit(1, 11, 0); got != Infinity {
+			t.Errorf("%s: over-long fit = %d, want Infinity", impl.name, got)
+		}
+		if got := impl.fit(1, 1, 10); got != Infinity {
+			t.Errorf("%s: fit inside dead tail = %d, want Infinity", impl.name, got)
+		}
+		if got := impl.fit(1, 1, Infinity); got != Infinity {
+			t.Errorf("%s: fit at Infinity = %d, want Infinity", impl.name, got)
+		}
+	}
+}
+
+// TestEarliestFitMaxInt64Duration regresses the start+duration overflow
+// clamp: a duration of math.MaxInt64 (= Infinity) must behave as "forever"
+// without wrapping around.
+func TestEarliestFitMaxInt64Duration(t *testing.T) {
+	p := New(4, 0)
+	ref := NewReference(4, 0)
+	p.Reserve(2, 10, 20)
+	ref.Reserve(2, 10, 20)
+	cases := []struct {
+		w    int
+		nb   int64
+		want int64
+	}{
+		{3, 0, 20}, // blocked by [10,20), feasible forever from 20
+		{1, 5, 5},  // narrow enough everywhere
+		{2, 0, 0},  // exactly the 2 nodes left free during [10,20): fits forever from 0
+		{4, 0, 20},
+	}
+	for _, c := range cases {
+		if got := p.EarliestFit(c.w, Infinity, c.nb); got != c.want {
+			t.Errorf("optimized EarliestFit(%d,MaxInt64,%d) = %d, want %d", c.w, c.nb, got, c.want)
+		}
+		if got := ref.EarliestFit(c.w, Infinity, c.nb); got != c.want {
+			t.Errorf("reference EarliestFit(%d,MaxInt64,%d) = %d, want %d", c.w, c.nb, got, c.want)
+		}
+	}
+}
+
+// TestResetReusesStorage: Reset must restore the fully-free state without
+// allocating once the backing array is warm — the scratch-profile
+// contract the conservative starter relies on.
+func TestResetReusesStorage(t *testing.T) {
+	p := New(16, 0)
+	for i := int64(0); i < 20; i++ {
+		p.Reserve(1, i*10, i*10+15)
+	}
+	p.Reset(16, 100)
+	if p.StepCount() != 1 || p.FreeAt(100) != 16 || p.Nodes() != 16 {
+		t.Fatalf("Reset left state %v", p)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		p.Reset(16, 0)
+		p.Reserve(4, 10, 20)
+		p.Reserve(4, 15, 30)
+		_ = p.EarliestFit(16, 10, 0)
+	})
+	if allocs != 0 {
+		t.Errorf("warm Reset+Reserve+EarliestFit allocates %.1f/run, want 0", allocs)
+	}
+}
+
+// TestCloneInto: the allocation-free clone must produce an independent,
+// identical profile.
+func TestCloneInto(t *testing.T) {
+	p := New(8, 0)
+	p.Reserve(4, 0, 10)
+	dst := New(1, 0)
+	p.CloneInto(dst)
+	if dst.String() != p.String() || dst.Nodes() != 8 {
+		t.Fatalf("CloneInto mismatch: %v vs %v", dst, p)
+	}
+	dst.Reserve(4, 0, 10)
+	if p.FreeAt(5) != 4 || dst.FreeAt(5) != 0 {
+		t.Error("CloneInto shares step storage with the source")
+	}
+}
+
 // TestPropertyReservationsNeverExceedCapacity drives random feasible
 // reservations through the profile and asserts the invariant that free
 // counts stay within [0, nodes] everywhere, and that EarliestFit returns

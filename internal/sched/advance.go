@@ -69,6 +69,9 @@ func (c *Calendar) Entries() []AdvanceReservation { return c.entries }
 type ReservedStarter struct {
 	inner Starter
 	cal   *Calendar
+	// scratch is the reusable running+calendar profile (rebuilt per Pick;
+	// Reset recycles the step storage). Owned by one simulation goroutine.
+	scratch *profile.Profile
 }
 
 // NewReservedStarter wraps a start policy with the calendar.
@@ -95,7 +98,12 @@ func (s *ReservedStarter) Pick(ordered []*job.Job, now int64, free int, running 
 	}
 	// Availability profile: running jobs by their estimates plus all
 	// future reservation windows.
-	p := profile.New(m, now)
+	if s.scratch == nil {
+		s.scratch = profile.New(m, now)
+	} else {
+		s.scratch.Reset(m, now)
+	}
+	p := s.scratch
 	for _, r := range running {
 		end := r.EstEnd
 		if end <= now {

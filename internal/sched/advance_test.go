@@ -123,7 +123,7 @@ func TestReservationsHardGuarantee(t *testing.T) {
 	}
 	for _, inner := range []Starter{NewListStarter(), NewEASYStarter(), NewGareyGrahamStarter()} {
 		alg := Compose(NewFCFSOrder("FCFS"), NewReservedStarter(inner, cal), nodes)
-		res, err := sim.Run(sim.Machine{Nodes: nodes}, job.CloneAll(jobs), alg,
+		res, err := sim.RunChecked(sim.Machine{Nodes: nodes}, job.CloneAll(jobs), alg,
 			sim.Options{Validate: true})
 		if err != nil {
 			t.Fatal(err)
@@ -164,12 +164,12 @@ func TestReservedStarterTransparentWithoutEntries(t *testing.T) {
 	} {
 		plain := Compose(NewFCFSOrder("FCFS"), mk(), 16)
 		wrapped := Compose(NewFCFSOrder("FCFS"), NewReservedStarter(mk(), cal), 16)
-		pres, err := sim.Run(sim.Machine{Nodes: 16}, job.CloneAll(jobs), plain,
+		pres, err := sim.RunChecked(sim.Machine{Nodes: 16}, job.CloneAll(jobs), plain,
 			sim.Options{Validate: true})
 		if err != nil {
 			t.Fatal(err)
 		}
-		wres, err := sim.Run(sim.Machine{Nodes: 16}, job.CloneAll(jobs), wrapped,
+		wres, err := sim.RunChecked(sim.Machine{Nodes: 16}, job.CloneAll(jobs), wrapped,
 			sim.Options{Validate: true})
 		if err != nil {
 			t.Fatal(err)

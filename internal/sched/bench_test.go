@@ -112,7 +112,7 @@ func BenchmarkEngineFCFS(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := sim.Run(sim.Machine{Nodes: 256}, job.CloneAll(jobs), alg, sim.Options{}); err != nil {
+		if _, err := sim.RunChecked(sim.Machine{Nodes: 256}, job.CloneAll(jobs), alg, sim.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

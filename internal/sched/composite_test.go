@@ -91,7 +91,7 @@ func TestGridCellsCompleteAllJobs(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := sim.Run(sim.Machine{Nodes: nodes}, job.CloneAll(jobs), alg,
+			res, err := sim.RunChecked(sim.Machine{Nodes: nodes}, job.CloneAll(jobs), alg,
 				sim.Options{Validate: true})
 			if err != nil {
 				t.Fatalf("%s/%s: %v", o, s, err)
@@ -117,7 +117,7 @@ func TestGridCellsPropertyRandomWorkloads(t *testing.T) {
 				if err != nil {
 					return false
 				}
-				res, err := sim.Run(sim.Machine{Nodes: nodes}, job.CloneAll(jobs), alg,
+				res, err := sim.RunChecked(sim.Machine{Nodes: nodes}, job.CloneAll(jobs), alg,
 					sim.Options{Validate: true})
 				if err != nil || len(res.Schedule.Allocs) != len(jobs) {
 					return false
@@ -143,7 +143,7 @@ func TestFCFSFairness(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := sim.Run(sim.Machine{Nodes: nodes}, job.CloneAll(jobs), alg,
+		res, err := sim.RunChecked(sim.Machine{Nodes: nodes}, job.CloneAll(jobs), alg,
 			sim.Options{Validate: true})
 		if err != nil {
 			t.Fatal(err)
@@ -191,7 +191,7 @@ func TestGareyGrahamBeatsBlockedFCFSOnCraftedCase(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := sim.Run(sim.Machine{Nodes: 8}, job.CloneAll(jobs), alg,
+		res, err := sim.RunChecked(sim.Machine{Nodes: 8}, job.CloneAll(jobs), alg,
 			sim.Options{Validate: true})
 		if err != nil {
 			t.Fatal(err)
@@ -249,7 +249,7 @@ func TestEASYBackfillNeverPostponesProjectedHeadStart(t *testing.T) {
 	jobs := randomJobs(r, 400, nodes)
 	wrapper := &shadowAssertingStarter{inner: NewEASYStarter(), t: t}
 	alg := Compose(NewFCFSOrder("FCFS"), wrapper, nodes)
-	if _, err := sim.Run(sim.Machine{Nodes: nodes}, job.CloneAll(jobs), alg,
+	if _, err := sim.RunChecked(sim.Machine{Nodes: nodes}, job.CloneAll(jobs), alg,
 		sim.Options{Validate: true}); err != nil {
 		t.Fatal(err)
 	}

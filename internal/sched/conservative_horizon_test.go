@@ -122,7 +122,7 @@ func TestConservativeFastEndToEnd(t *testing.T) {
 
 		avgResponse := func(st Starter) float64 {
 			alg := Compose(NewFCFSOrder("FCFS"), st, nodes)
-			res, err := sim.Run(sim.Machine{Nodes: nodes}, job.CloneAll(jobs), alg,
+			res, err := sim.RunChecked(sim.Machine{Nodes: nodes}, job.CloneAll(jobs), alg,
 				sim.Options{Validate: true})
 			if err != nil {
 				t.Fatal(err)

@@ -82,7 +82,7 @@ func TestConservativeBackfillNeverDelaysEarlierJobs(t *testing.T) {
 	jobs := randomJobs(r, 400, nodes)
 	wrapper := &conservativeAssertingStarter{inner: NewConservativeStarter(0), t: t}
 	alg := Compose(NewFCFSOrder("FCFS"), wrapper, nodes)
-	if _, err := sim.Run(sim.Machine{Nodes: nodes}, job.CloneAll(jobs), alg,
+	if _, err := sim.RunChecked(sim.Machine{Nodes: nodes}, job.CloneAll(jobs), alg,
 		sim.Options{Validate: true}); err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestConservativeBackfillInvariantUnderSMARTOrder(t *testing.T) {
 	jobs := randomJobs(r, 300, nodes)
 	wrapper := &conservativeAssertingStarter{inner: NewConservativeStarter(0), t: t}
 	alg := Compose(NewSMARTOrder(FFIA, Config{MachineNodes: nodes}.withDefaults()), wrapper, nodes)
-	if _, err := sim.Run(sim.Machine{Nodes: nodes}, job.CloneAll(jobs), alg,
+	if _, err := sim.RunChecked(sim.Machine{Nodes: nodes}, job.CloneAll(jobs), alg,
 		sim.Options{Validate: true}); err != nil {
 		t.Fatal(err)
 	}

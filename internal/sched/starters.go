@@ -58,7 +58,12 @@ func (*GareyGrahamStarter) Pick(ordered []*job.Job, now int64, free int, running
 // not postpone the projected execution of the next job in the list" but
 // may delay jobs further down — and, because projections use estimates,
 // may even delay the head when a running job finishes early.
-type EASYStarter struct{}
+type EASYStarter struct {
+	// ends is the reusable shadow-time sort buffer (Pick is called once
+	// per scheduling decision; allocating a running-list copy each time
+	// is measurable under deep backlogs). Not safe for concurrent use.
+	ends []sim.Running
+}
 
 // NewEASYStarter returns the EASY backfilling start policy.
 func NewEASYStarter() *EASYStarter { return &EASYStarter{} }
@@ -67,7 +72,7 @@ func NewEASYStarter() *EASYStarter { return &EASYStarter{} }
 func (*EASYStarter) Name() string { return string(StartEASY) }
 
 // Pick implements Starter.
-func (*EASYStarter) Pick(ordered []*job.Job, now int64, free int, running []sim.Running, machineNodes int) *job.Job {
+func (s *EASYStarter) Pick(ordered []*job.Job, now int64, free int, running []sim.Running, machineNodes int) *job.Job {
 	if len(ordered) == 0 {
 		return nil
 	}
@@ -78,7 +83,8 @@ func (*EASYStarter) Pick(ordered []*job.Job, now int64, free int, running []sim.
 	if len(ordered) == 1 {
 		return nil
 	}
-	shadow, spare := shadowTime(head, now, free, running)
+	s.ends = append(s.ends[:0], running...)
+	shadow, spare := shadowTime(head, now, free, s.ends)
 	for _, j := range ordered[1:] {
 		if j.Nodes > free {
 			continue
@@ -92,9 +98,9 @@ func (*EASYStarter) Pick(ordered []*job.Job, now int64, free int, running []sim.
 
 // shadowTime computes the head job's reservation: the earliest estimated
 // time at which enough nodes drain for the head, and the spare nodes left
-// over at that time after the head starts.
-func shadowTime(head *job.Job, now int64, free int, running []sim.Running) (shadow int64, spare int) {
-	ends := append([]sim.Running(nil), running...)
+// over at that time after the head starts. ends is sorted in place (the
+// caller passes an owned copy of the running list).
+func shadowTime(head *job.Job, now int64, free int, ends []sim.Running) (shadow int64, spare int) {
 	sort.Slice(ends, func(a, b int) bool {
 		if ends[a].EstEnd != ends[b].EstEnd {
 			return ends[a].EstEnd < ends[b].EstEnd
@@ -140,6 +146,11 @@ type ConservativeStarter struct {
 	// it turns the O(queue²) pass into a near-linear one and makes
 	// paper-scale saturated runs tractable.
 	fast bool
+	// scratch is the reusable reservation profile. Pick rebuilds the full
+	// reservation state on every pass (compression); recycling the step
+	// storage via Reset removes the per-pass allocation storm. A Starter
+	// is owned by one simulation goroutine, so this is not a race.
+	scratch *profile.Profile
 }
 
 // NewConservativeStarter returns the exact conservative backfilling
@@ -201,7 +212,12 @@ func (s *ConservativeStarter) Pick(ordered []*job.Job, now int64, free int, runn
 		}
 	}
 
-	p := profile.New(machineNodes, now)
+	if s.scratch == nil {
+		s.scratch = profile.New(machineNodes, now)
+	} else {
+		s.scratch.Reset(machineNodes, now)
+	}
+	p := s.scratch
 	for _, r := range running {
 		end := r.EstEnd
 		if end <= now {

@@ -56,7 +56,7 @@ func TestSwitchingCompletesAllJobs(t *testing.T) {
 			Estimate: est, Runtime: 1 + r.Int63n(est)}
 	}
 	s := newSwitching(t, nodes)
-	res, err := sim.Run(sim.Machine{Nodes: nodes}, job.CloneAll(jobs), s,
+	res, err := sim.RunChecked(sim.Machine{Nodes: nodes}, job.CloneAll(jobs), s,
 		sim.Options{Validate: true})
 	if err != nil {
 		t.Fatal(err)
@@ -139,7 +139,7 @@ func TestSwitchingImprovesBothObjectives(t *testing.T) {
 	dayMetric := objective.WindowedAvgResponseTime{W: objective.PrimeTime}
 
 	runScheduler := func(s sim.Scheduler) float64 {
-		res, err := sim.Run(sim.Machine{Nodes: nodes}, job.CloneAll(jobs), s,
+		res, err := sim.RunChecked(sim.Machine{Nodes: nodes}, job.CloneAll(jobs), s,
 			sim.Options{Validate: true})
 		if err != nil {
 			t.Fatal(err)

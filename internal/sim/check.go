@@ -1,0 +1,19 @@
+package sim
+
+import "jobsched/internal/job"
+
+// RunChecked is Run with Options.Validate forced on: every produced
+// schedule is re-validated against the machine model (capacity never
+// exceeds Machine.Nodes at any instant, no job starts before its
+// submission, allocations last exactly the effective runtime under
+// kill-at-estimate semantics — see Schedule.Validate).
+//
+// It exists so test suites cannot silently drop the invariant check: all
+// internal/sched and internal/eval tests drive simulations through
+// RunChecked (or set Options.Validate themselves), which is what stops an
+// optimized availability profile from producing invalid-but-plausible
+// schedules unnoticed.
+func RunChecked(m Machine, jobs []*job.Job, s Scheduler, opt Options) (*Result, error) {
+	opt.Validate = true
+	return Run(m, jobs, s, opt)
+}

@@ -156,13 +156,18 @@ func Run(m Machine, jobs []*job.Job, s Scheduler, opt Options) (*Result, error) 
 		schedTime += time.Since(t0)
 	}
 
+	// runningList snapshots the running set in ID order into a buffer
+	// reused across scheduling rounds. Schedulers must not retain the
+	// slice past the Startable call (the Scheduler contract); the engine
+	// rewrites it on the next round.
+	var runningBuf []Running
 	runningList := func() []Running {
-		rs := make([]Running, 0, len(runningBy))
+		runningBuf = runningBuf[:0]
 		for _, r := range runningBy {
-			rs = append(rs, r)
+			runningBuf = append(runningBuf, r)
 		}
-		sort.Slice(rs, func(i, j int) bool { return rs[i].Job.ID < rs[j].Job.ID })
-		return rs
+		sort.Slice(runningBuf, func(i, j int) bool { return runningBuf[i].Job.ID < runningBuf[j].Job.ID })
+		return runningBuf
 	}
 
 

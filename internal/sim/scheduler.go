@@ -37,7 +37,9 @@ type Scheduler interface {
 	// Startable returns the jobs to start right now. free is the number
 	// of currently unassigned nodes, running the jobs currently executing
 	// (estimated completions only). The returned jobs must be waiting and
-	// their total node request must not exceed free.
+	// their total node request must not exceed free. The running slice is
+	// owned by the engine and rewritten on the next scheduling round;
+	// implementations must copy it if they need it past the call.
 	Startable(now int64, free int, running []Running) []*job.Job
 	// QueueLen returns the number of waiting jobs (diagnostics).
 	QueueLen() int

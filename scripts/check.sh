@@ -1,0 +1,28 @@
+#!/bin/sh
+# Tier-1 gate: everything a change must pass before it lands.
+# Run via `make check` or directly: ./scripts/check.sh
+#
+# Steps:
+#   1. go vet        — static checks
+#   2. go build      — every package compiles
+#   3. go test -race — full suite (incl. the differential profile oracle
+#                      and the cross-worker determinism tests) under the
+#                      race detector
+#   4. bench smoke   — cmd/bench -quick: the perf harness still runs end
+#                      to end (tiny benchtime, no BENCH_*.json written)
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> bench smoke (go run ./cmd/bench -quick)"
+go run ./cmd/bench -quick -out "" >/dev/null
+
+echo "OK: all tier-1 checks passed"
