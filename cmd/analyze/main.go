@@ -8,11 +8,13 @@
 //	analyze -in trace.swf
 //	analyze -workload ctc -jobs 5000 -simulate -order SMART-FFIA -start EASY-Backfilling
 //	analyze -workload random -simulate -gantt
+//	analyze -explain 42 -trace run.jsonl   # why did job 42 wait? ("-" = stdin)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"jobsched/internal/analysis"
@@ -22,27 +24,64 @@ import (
 	"jobsched/internal/job"
 	"jobsched/internal/sched"
 	"jobsched/internal/stats"
+	"jobsched/internal/telemetry"
 	"jobsched/internal/workload"
 )
 
 func main() {
 	var (
-		in       = flag.String("in", "", "SWF input file")
-		wl       = flag.String("workload", "", "generate instead: ctc, prob, random")
-		n        = flag.Int("jobs", 5000, "jobs for generated workloads")
-		nodes    = flag.Int("nodes", 256, "machine size")
-		seed     = flag.Int64("seed", 1, "generation seed")
-		simulate = flag.Bool("simulate", false, "also simulate and analyze the schedule")
-		order    = flag.String("order", "FCFS", "order policy for -simulate")
-		start    = flag.String("start", "EASY-Backfilling", "start policy for -simulate")
-		gantt    = flag.Bool("gantt", false, "render an ASCII Gantt chart (-simulate)")
-		csvDir   = flag.String("csv", "", "write utilization/backlog series CSVs here")
+		in        = flag.String("in", "", "SWF input file")
+		wl        = flag.String("workload", "", "generate instead: ctc, prob, random")
+		n         = flag.Int("jobs", 5000, "jobs for generated workloads")
+		nodes     = flag.Int("nodes", 256, "machine size")
+		seed      = flag.Int64("seed", 1, "generation seed")
+		simulate  = flag.Bool("simulate", false, "also simulate and analyze the schedule")
+		order     = flag.String("order", "FCFS", "order policy for -simulate")
+		start     = flag.String("start", "EASY-Backfilling", "start policy for -simulate")
+		gantt     = flag.Bool("gantt", false, "render an ASCII Gantt chart (-simulate)")
+		csvDir    = flag.String("csv", "", "write utilization/backlog series CSVs here")
+		explain   = flag.Int64("explain", -1, "explain this job ID from a decision trace (-trace)")
+		traceFile = flag.String("trace", "", "JSONL decision trace for -explain (\"-\" = stdin)")
 	)
 	flag.Parse()
+	if *explain >= 0 {
+		if err := runExplain(*explain, *traceFile); err != nil {
+			fmt.Fprintln(os.Stderr, "analyze:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*in, *wl, *n, *nodes, *seed, *simulate, *order, *start, *gantt, *csvDir); err != nil {
 		fmt.Fprintln(os.Stderr, "analyze:", err)
 		os.Exit(1)
 	}
+}
+
+// runExplain is the explain mode: read a decision trace (written by
+// `simulate -trace` or `evaluate -trace`) and reconstruct why the job
+// waited — its blocking head, the shadow times computed against it, and
+// the jobs that overtook it.
+func runExplain(id int64, traceFile string) error {
+	if traceFile == "" {
+		return fmt.Errorf("-explain needs -trace FILE (write one with `simulate -trace`)")
+	}
+	var r io.Reader
+	if traceFile == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	events, err := telemetry.ReadJSONL(r)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== job %d (trace: %d events) ==\n", id, len(events))
+	return analysis.Explain(os.Stdout, events, id)
 }
 
 func run(in, wl string, n, nodes int, seed int64, simulate bool, order, start string, gantt bool, csvDir string) error {

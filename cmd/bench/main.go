@@ -12,16 +12,24 @@
 //     (the optimized kernel replaced the old code in place, so those
 //     can't be re-run; the recorded values are embedded below).
 //
+// A second report (default BENCH_2.json) measures the telemetry layer:
+// the nil-recorder fast path against the recorded pre-telemetry grid
+// numbers, and the enabled-path costs (counters, JSONL to a discard
+// sink). The quick smoke run additionally gates the nil-recorder path:
+// it fails when the conservative grid bench regresses beyond the noise
+// band of the pre-telemetry commit.
+//
 // Usage:
 //
-//	go run ./cmd/bench                 # full run, writes BENCH_1.json
-//	go run ./cmd/bench -quick -out ""  # CI smoke: tiny benchtime, no file
+//	go run ./cmd/bench                          # full run, writes BENCH_1.json + BENCH_2.json
+//	go run ./cmd/bench -quick -out "" -out2 ""  # CI smoke: tiny benchtime, no files, perf gate
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"runtime"
@@ -29,9 +37,11 @@ import (
 	"time"
 
 	"jobsched/internal/eval"
+	"jobsched/internal/job"
 	"jobsched/internal/profile"
 	"jobsched/internal/sched"
 	"jobsched/internal/sim"
+	"jobsched/internal/telemetry"
 	"jobsched/internal/trace"
 	"jobsched/internal/workload"
 )
@@ -70,9 +80,24 @@ const (
 	seedBacklogMaxQLen = 752
 )
 
+// Pre-telemetry grid measurements (the commit before the telemetry layer
+// landed, same machine and flags), the "before" side of BENCH_2.json:
+// the nil-recorder fast path must stay within noise of these.
+const (
+	pr1BacklogNsOp   = 348246859 // full backlog grid, -benchtime 0.5s
+	pr1BacklogAllocs = 57250
+	// pr1QuickBacklogNsOp is the quick-mode (-benchtime 10x) backlog grid
+	// mean; repeated pre-telemetry runs scattered ±4%, so the smoke gate
+	// fails only beyond 15% — a real per-event cost in the hot loop shows
+	// up far above that, scheduler-noise blips do not.
+	pr1QuickBacklogNsOp = 4757849
+	quickGateFactor     = 1.15
+)
+
 func main() {
 	quick := flag.Bool("quick", false, "tiny benchtime smoke run (CI gate)")
 	out := flag.String("out", "BENCH_1.json", "output path; empty writes the JSON to stdout only")
+	out2 := flag.String("out2", "BENCH_2.json", "telemetry-overhead report path; empty writes to stdout only")
 	flag.Parse()
 
 	testing.Init()
@@ -93,17 +118,43 @@ func main() {
 	rep.Entries = append(rep.Entries, microEntries()...)
 	rep.Entries = append(rep.Entries, gridEntries(*quick)...)
 
+	emit(rep, *out)
+
+	rep2 := &Report{
+		Schema:     "jobsched-bench/v2-telemetry",
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Note: "telemetry layer overhead on the conservative grid bench: before = " +
+			"pre-telemetry commit (recorded) or the nil-recorder path (live), " +
+			"after = this commit with the labeled telemetry configuration",
+	}
+	rep2.Entries = telemetryEntries(*quick)
+	emit(rep2, *out2)
+
+	if *quick {
+		// Smoke gate: the nil-recorder path must stay within the noise
+		// band of the pre-telemetry commit.
+		nsOp := rep2.Entries[0].AfterNsOp
+		if limit := float64(pr1QuickBacklogNsOp) * quickGateFactor; nsOp > limit {
+			fatal(fmt.Errorf("telemetry-disabled backlog grid took %.0f ns/op, limit %.0f "+
+				"(pre-telemetry %d +%d%%): the nil-recorder fast path regressed",
+				nsOp, limit, int64(pr1QuickBacklogNsOp), int64(quickGateFactor*100-100)))
+		}
+	}
+}
+
+func emit(rep *Report, path string) {
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
 	}
 	data = append(data, '\n')
 	os.Stdout.Write(data)
-	if *out != "" {
-		if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if path != "" {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	}
 }
 
@@ -224,11 +275,7 @@ func gridEntries(quick bool) []Entry {
 	cfg.Seed = 1
 	ctc, _ := trace.FilterMaxNodes(workload.CTC(cfg), 256)
 
-	bcfg := workload.DefaultRandomizedConfig()
-	bcfg.Jobs = backlogJobs
-	bcfg.MaxGap = 150
-	bcfg.Seed = 9
-	backlog := workload.Randomized(bcfg)
+	backlog := backlogWorkload(backlogJobs)
 
 	table3Metrics := map[string]float64{}
 	table3 := testing.Benchmark(func(b *testing.B) {
@@ -301,6 +348,103 @@ func gridEntries(quick bool) []Entry {
 		}
 	}
 	return []Entry{t3, bl}
+}
+
+// backlogWorkload is the saturated randomized workload of the backlog
+// grid bench (shared by the perf entries and the telemetry entries so
+// the numbers are comparable).
+func backlogWorkload(jobs int) []*job.Job {
+	bcfg := workload.DefaultRandomizedConfig()
+	bcfg.Jobs = jobs
+	bcfg.MaxGap = 150
+	bcfg.Seed = 9
+	return workload.Randomized(bcfg)
+}
+
+// telemetryEntries measures the decision-tracing layer on the
+// conservative grid bench (BENCH_2.json): the nil-recorder fast path
+// against the recorded pre-telemetry numbers, then the enabled paths —
+// per-cell run counters and a JSONL recorder draining to io.Discard —
+// against the live nil-recorder run.
+func telemetryEntries(quick bool) []Entry {
+	m := sim.Machine{Nodes: 256}
+	backlogJobs := 800
+	if quick {
+		backlogJobs = 150
+	}
+	backlog := backlogWorkload(backlogJobs)
+
+	grid := func(hooks func(sched.OrderName, sched.StartName) telemetry.Hooks) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, err := eval.Run("Backlog", m, backlog, eval.Unweighted, eval.Options{
+					Parallel: true,
+					Orders:   []sched.OrderName{sched.OrderFCFS, sched.OrderPSRS},
+					Starts:   []sched.StartName{sched.StartConservative, sched.StartEASY},
+					Hooks:    hooks,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+
+	// One grid op is ~350 ms in full mode, so a single testing.Benchmark
+	// sample is only a couple of iterations and machine noise dominates.
+	// Take the best of a few runs per configuration — min-of-N is the
+	// standard noise-robust statistic for before/after comparisons.
+	runs := 3
+	if quick {
+		runs = 1 // the quick gate has its own generous noise band
+	}
+	best := func(f func(b *testing.B)) testing.BenchmarkResult {
+		r := testing.Benchmark(f)
+		for i := 1; i < runs; i++ {
+			if c := testing.Benchmark(f); c.NsPerOp() < r.NsPerOp() {
+				r = c
+			}
+		}
+		return r
+	}
+
+	// Parallel cells each get their own recorder from the Hooks factory,
+	// so the enabled-path benches stay race-free.
+	disabled := best(grid(nil))
+	counters := best(grid(func(sched.OrderName, sched.StartName) telemetry.Hooks {
+		return telemetry.NewCounters().Hooks()
+	}))
+	jsonl := best(grid(func(sched.OrderName, sched.StartName) telemetry.Hooks {
+		return telemetry.Hooks{Recorder: telemetry.NewJSONL(io.Discard)}
+	}))
+
+	overhead := func(before, after testing.BenchmarkResult) float64 {
+		if before.NsPerOp() == 0 {
+			return 0
+		}
+		return (float64(after.NsPerOp())/float64(before.NsPerOp()) - 1) * 100
+	}
+
+	source := "pre-telemetry-commit-recorded"
+	baseline := recorded(pr1BacklogNsOp, pr1BacklogAllocs)
+	if quick {
+		// The recorded baseline was measured at full benchtime; in quick
+		// mode only the quick-vs-quick gate in main is meaningful, so the
+		// disabled entry compares against the recorded quick mean instead.
+		baseline = recorded(pr1QuickBacklogNsOp, 0)
+		source = "pre-telemetry-commit-recorded-quick"
+	}
+	off := entry("telemetry/BacklogGrid_disabled", source, baseline, disabled)
+	off.Metrics = map[string]float64{"overhead_pct": overhead(baseline, disabled)}
+
+	cnt := entry("telemetry/BacklogGrid_counters", "nil-recorder-live", disabled, counters)
+	cnt.Metrics = map[string]float64{"overhead_pct": overhead(disabled, counters)}
+
+	jl := entry("telemetry/BacklogGrid_jsonlDiscard", "nil-recorder-live", disabled, jsonl)
+	jl.Metrics = map[string]float64{"overhead_pct": overhead(disabled, jsonl)}
+
+	return []Entry{off, cnt, jl}
 }
 
 // recorded wraps seed-commit measurements in a BenchmarkResult so entry()

@@ -17,30 +17,37 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
 
 	"jobsched/internal/eval"
 	"jobsched/internal/job"
+	"jobsched/internal/sched"
 	"jobsched/internal/sim"
+	"jobsched/internal/telemetry"
 	"jobsched/internal/trace"
 	"jobsched/internal/workload"
 )
 
 func main() {
 	var (
-		full   = flag.Bool("full", false, "paper-scale job counts (slower)")
-		table  = flag.Int("table", 0, "only this table (1-8); 0 = all")
-		csvDir = flag.String("csv", "", "also write per-table CSV series (figures) to this directory")
-		nodes  = flag.Int("nodes", 256, "batch partition size")
-		seed   = flag.Int64("seed", 1, "workload generation seed")
+		full     = flag.Bool("full", false, "paper-scale job counts (slower)")
+		table    = flag.Int("table", 0, "only this table (1-8); 0 = all")
+		csvDir   = flag.String("csv", "", "also write per-table CSV series (figures) to this directory")
+		nodes    = flag.Int("nodes", 256, "batch partition size")
+		seed     = flag.Int64("seed", 1, "workload generation seed")
+		traceDir = flag.String("trace", "", "write one JSONL decision trace per grid cell to this directory (tables 3-6; see analyze -explain)")
+		counters = flag.Bool("counters", false, "print per-cell run counters after each grid (tables 3-6)")
 	)
 	flag.Parse()
-	if err := run(*full, *table, *csvDir, *nodes, *seed); err != nil {
+	if err := run(*full, *table, *csvDir, *nodes, *seed, *traceDir, *counters); err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(full bool, table int, csvDir string, nodes int, seed int64) error {
+func run(full bool, table int, csvDir string, nodes int, seed int64, traceDir string, counters bool) error {
 	scale := 8
 	if full {
 		scale = 1
@@ -100,11 +107,18 @@ func run(full bool, table int, csvDir string, nodes int, seed int64) error {
 
 	runBoth := func(title, name string, jobs []*workloadJob) error {
 		for _, c := range []eval.Case{eval.Unweighted, eval.Weighted} {
-			g, err := eval.Run(title, m, jobs, c, gridOpts)
+			gname := fmt.Sprintf("%s_%s", name, c)
+			opts := gridOpts
+			hooks, finish := cellTelemetry(gname, traceDir, counters)
+			opts.Hooks = hooks
+			g, err := eval.Run(title, m, jobs, c, opts)
 			if err != nil {
 				return err
 			}
-			if err := emit(fmt.Sprintf("%s_%s", name, c), g); err != nil {
+			if err := emit(gname, g); err != nil {
+				return err
+			}
+			if err := finish(); err != nil {
 				return err
 			}
 		}
@@ -164,6 +178,105 @@ func run(full bool, table int, csvDir string, nodes int, seed int64) error {
 
 // workloadJob aliases the job type to keep helper signatures short.
 type workloadJob = job.Job
+
+// cellTelemetry builds the per-cell telemetry attachment for one grid run
+// and a finish function that flushes trace files and prints the counter
+// summary after the table renders. With both knobs off it returns a nil
+// factory — the grid runs on the nil-recorder fast path. Each cell gets
+// its own recorder, so the Parallel grid stays race-free; the factory is
+// called from the worker goroutines and therefore locks its shared state.
+func cellTelemetry(name, traceDir string, counters bool) (func(o sched.OrderName, s sched.StartName) telemetry.Hooks, func() error) {
+	if traceDir == "" && !counters {
+		return nil, func() error { return nil }
+	}
+	type cell struct {
+		label string
+		cnt   *telemetry.Counters
+		jl    *telemetry.JSONL
+		f     *os.File
+	}
+	var (
+		mu    sync.Mutex
+		cells []*cell
+		fail  error
+	)
+	hooks := func(o sched.OrderName, s sched.StartName) telemetry.Hooks {
+		c := &cell{label: fmt.Sprintf("%s/%s", o, s)}
+		var h telemetry.Hooks
+		if counters {
+			c.cnt = telemetry.NewCounters()
+			h = c.cnt.Hooks()
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if traceDir != "" && fail == nil {
+			path := filepath.Join(traceDir, fmt.Sprintf("%s_%s_%s.jsonl",
+				name, sanitize(string(o)), sanitize(string(s))))
+			f, err := os.Create(path)
+			if err != nil {
+				fail = err
+			} else {
+				c.f = f
+				c.jl = telemetry.NewJSONL(f)
+				h.Recorder = telemetry.Multi(h.Recorder, c.jl)
+			}
+		}
+		cells = append(cells, c)
+		return h
+	}
+	finish := func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		if fail != nil {
+			return fail
+		}
+		sort.Slice(cells, func(i, j int) bool { return cells[i].label < cells[j].label })
+		for _, c := range cells {
+			if c.jl == nil {
+				continue
+			}
+			if err := c.jl.Flush(); err != nil {
+				return fmt.Errorf("writing %s trace: %w", c.label, err)
+			}
+			if err := c.f.Close(); err != nil {
+				return fmt.Errorf("writing %s trace: %w", c.label, err)
+			}
+		}
+		if traceDir != "" {
+			fmt.Fprintf(os.Stderr, "evaluate: decision traces for %s written to %s\n", name, traceDir)
+		}
+		if counters {
+			fmt.Printf("  -- run counters (%s) --\n", name)
+			for _, c := range cells {
+				k := c.cnt
+				var bfA, bfS int64
+				for _, v := range k.BackfillAttempts {
+					bfA += v
+				}
+				for _, v := range k.BackfillSuccesses {
+					bfS += v
+				}
+				fmt.Printf("  %-32s passes=%-6d startable=%-6d starts=%-6d backfill=%d/%d profile-ops=%d\n",
+					c.label, k.Passes, k.StartableCalls, k.Starts, bfS, bfA, k.Profile.Total())
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	return hooks, finish
+}
+
+// sanitize maps a policy name onto a filesystem-safe token
+// ("Garey&Graham" -> "Garey-Graham").
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-':
+			return r
+		}
+		return '-'
+	}, s)
+}
 
 func computeTimeTable(title string, m sim.Machine, jobs []*workloadJob, csvDir, name string) error {
 	// Computation time must be measured serially so cells are comparable.

@@ -7,6 +7,7 @@
 //	simulate -order FCFS -start EASY-Backfilling -workload ctc -jobs 10000
 //	simulate -order SMART-FFIA -start Backfilling -weighted -workload random
 //	simulate -workload swf -in trace.swf
+//	simulate -trace run.jsonl -counters   # decision trace + run counters
 package main
 
 import (
@@ -18,6 +19,8 @@ import (
 	"jobsched/internal/core"
 	"jobsched/internal/job"
 	"jobsched/internal/sched"
+	"jobsched/internal/sim"
+	"jobsched/internal/telemetry"
 	"jobsched/internal/trace"
 )
 
@@ -32,15 +35,17 @@ func main() {
 		nodes    = flag.Int("nodes", 256, "batch partition size")
 		seed     = flag.Int64("seed", 1, "generation seed")
 		exact    = flag.Bool("exact", false, "replace estimates by exact runtimes (Section 6.1)")
+		traceOut = flag.String("trace", "", "write a JSONL decision trace to this file (see analyze -explain)")
+		counters = flag.Bool("counters", false, "print run counters (passes, backfill, profile ops)")
 	)
 	flag.Parse()
-	if err := run(*order, *start, *weighted, *wl, *in, *jobs, *nodes, *seed, *exact); err != nil {
+	if err := run(*order, *start, *weighted, *wl, *in, *jobs, *nodes, *seed, *exact, *traceOut, *counters); err != nil {
 		fmt.Fprintln(os.Stderr, "simulate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(order, start string, weighted bool, wl, in string, n, nodes int, seed int64, exact bool) error {
+func run(order, start string, weighted bool, wl, in string, n, nodes int, seed int64, exact bool, traceOut string, counters bool) error {
 	js, err := loadWorkload(wl, in, n, nodes, seed)
 	if err != nil {
 		return err
@@ -48,13 +53,45 @@ func run(order, start string, weighted bool, wl, in string, n, nodes int, seed i
 	if exact {
 		js = trace.WithExactEstimates(js)
 	}
-	s, err := core.NewScheduler(sched.OrderName(order), sched.StartName(start), nodes, weighted)
+
+	// Telemetry: a JSONL trace file and/or in-process counters. Both off
+	// leaves the zero Hooks — the nil-recorder fast path.
+	var (
+		hooks telemetry.Hooks
+		cnt   *telemetry.Counters
+		jl    *telemetry.JSONL
+		tf    *os.File
+	)
+	if counters {
+		cnt = telemetry.NewCounters()
+		hooks = cnt.Hooks()
+	}
+	if traceOut != "" {
+		tf, err = os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		jl = telemetry.NewJSONL(tf)
+		hooks.Recorder = telemetry.Multi(hooks.Recorder, jl)
+	}
+
+	s, err := core.NewSchedulerWith(sched.OrderName(order), sched.StartName(start), nodes, weighted, hooks)
 	if err != nil {
 		return err
 	}
-	res, err := core.Simulate(core.Machine{Nodes: nodes}, js, s)
+	res, err := core.SimulateWith(core.Machine{Nodes: nodes}, js, s, sim.Options{Recorder: hooks.Recorder})
 	if err != nil {
 		return err
+	}
+	if jl != nil {
+		if err := jl.Flush(); err != nil {
+			return fmt.Errorf("writing %s: %w", traceOut, err)
+		}
+		if err := tf.Close(); err != nil {
+			return fmt.Errorf("writing %s: %w", traceOut, err)
+		}
+		fmt.Fprintf(os.Stderr, "simulate: decision trace written to %s\n", traceOut)
 	}
 	fmt.Printf("algorithm:                       %s\n", s.Name())
 	fmt.Printf("jobs:                            %d\n", len(js))
@@ -65,6 +102,10 @@ func run(order, start string, weighted bool, wl, in string, n, nodes int, seed i
 	fmt.Printf("makespan:                        %d s\n", res.Makespan)
 	fmt.Printf("utilization:                     %.2f%%\n", res.Utilization*100)
 	fmt.Printf("max queue length:                %d\n", res.MaxQueue)
+	if cnt != nil {
+		fmt.Println("\n== run counters ==")
+		return cnt.Report(os.Stdout)
+	}
 	return nil
 }
 

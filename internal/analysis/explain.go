@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+
+	"jobsched/internal/telemetry"
+)
+
+// Explain reconstructs from a decision trace why one job waited: its
+// timeline of arrivals, starts (with the start-policy classification),
+// aborts and completion; the scheduling passes that considered and
+// skipped it; the jobs that overtook it while it waited; and — when the
+// job itself was the blocked queue head — the backfill reservations
+// computed against it (EASY's shadow time and spare nodes).
+//
+// The events must be one run's trace in emission order, as produced by
+// sim.Run with a telemetry recorder.
+func Explain(w io.Writer, events []telemetry.Event, id int64) error {
+	if id < 0 {
+		return fmt.Errorf("analysis: job IDs are non-negative (got %d)", id)
+	}
+	var (
+		seen      bool
+		waitFrom  int64 // current wait interval start (arrival or abort)
+		waiting   bool
+		attempt   int
+		passes    int64 // scheduler queries during the current wait
+		overtook  []telemetry.Event
+		arrivalAt = map[int64]int64{} // first-arrival instant per job
+	)
+	for _, ev := range events {
+		if ev.Type == telemetry.EventArrival && !ev.Resubmit {
+			if _, ok := arrivalAt[ev.Job]; !ok {
+				arrivalAt[ev.Job] = ev.At
+			}
+		}
+		switch {
+		case ev.Job == id && ev.Type == telemetry.EventArrival:
+			seen = true
+			waitFrom, waiting, passes = ev.At, true, 0
+			overtook = overtook[:0]
+			if ev.Resubmit {
+				fmt.Fprintf(w, "t=%-10d resubmitted after the abort (%d nodes)\n", ev.At, ev.Nodes)
+			} else {
+				fmt.Fprintf(w, "t=%-10d job %d submitted (%d nodes)\n", ev.At, id, ev.Nodes)
+			}
+		case ev.Job == id && ev.Type == telemetry.EventStart:
+			attempt++
+			fmt.Fprintf(w, "t=%-10d started: %s\n", ev.At, startSummary(ev))
+			if waiting {
+				fmt.Fprintf(w, "             waited %d s over %d scheduling passes\n",
+					ev.At-waitFrom, passes)
+				reportOvertakers(w, overtook, arrivalAt, arrivalAt[id])
+			}
+			waiting = false
+		case ev.Job == id && ev.Type == telemetry.EventAbort:
+			fmt.Fprintf(w, "t=%-10d attempt aborted by a hardware failure\n", ev.At)
+		case ev.Job == id && ev.Type == telemetry.EventFinish:
+			how := "finished"
+			if ev.Killed {
+				how = "killed at its estimate"
+			}
+			fmt.Fprintf(w, "t=%-10d %s\n", ev.At, how)
+		case waiting && ev.Type == telemetry.EventPass:
+			passes++
+		case waiting && ev.Type == telemetry.EventStart:
+			overtook = append(overtook, ev)
+		case waiting && ev.Type == telemetry.EventBackfill && ev.Head == id:
+			// The job itself was the blocked head; the policy computed a
+			// reservation for it and went looking for backfill.
+			if ev.Shadow != 0 || ev.Spare != 0 {
+				fmt.Fprintf(w, "t=%-10d blocked at the head of the queue: %s projects it can start at t=%d (%d spare nodes)\n",
+					ev.At, ev.Starter, ev.Shadow, ev.Spare)
+			} else {
+				fmt.Fprintf(w, "t=%-10d blocked at the head of the queue: %s holds its reservation and scans for backfill\n",
+					ev.At, ev.Starter)
+			}
+		case waiting && ev.Type == telemetry.EventCapacity:
+			fmt.Fprintf(w, "t=%-10d machine capacity changed by %+d nodes while waiting\n", ev.At, ev.Delta)
+		}
+	}
+	if !seen {
+		return fmt.Errorf("analysis: job %d does not appear in the trace", id)
+	}
+	if waiting {
+		fmt.Fprintf(w, "             still waiting at the end of the trace (%d passes since t=%d)\n",
+			passes, waitFrom)
+	}
+	return nil
+}
+
+// startSummary renders the start-reason classification of one start event.
+func startSummary(ev telemetry.Event) string {
+	switch ev.Reason {
+	case telemetry.ReasonHeadOfQueue:
+		return fmt.Sprintf("head of the queue, %d nodes free after start (%s)", ev.Free, ev.Starter)
+	case telemetry.ReasonScanFit:
+		if ev.Depth > 0 {
+			return fmt.Sprintf("first fit in the scan at queue position %d, past blocked head %d (%s)",
+				ev.Depth, ev.Head, ev.Starter)
+		}
+		return fmt.Sprintf("first fit in the scan at the queue head (%s)", ev.Starter)
+	case telemetry.ReasonBackfillBeforeShadow:
+		return fmt.Sprintf("backfilled from position %d: finishes by head %d's shadow time t=%d (%s)",
+			ev.Depth, ev.Head, ev.Shadow, ev.Starter)
+	case telemetry.ReasonBackfillSpareNodes:
+		return fmt.Sprintf("backfilled from position %d: fits head %d's %d spare nodes (%s)",
+			ev.Depth, ev.Head, ev.Spare, ev.Starter)
+	case telemetry.ReasonReservationDueNow:
+		if ev.Depth > 0 {
+			return fmt.Sprintf("its conservative reservation came due, from position %d behind head %d (%s)",
+				ev.Depth, ev.Head, ev.Starter)
+		}
+		return fmt.Sprintf("its conservative reservation came due at the queue head (%s)", ev.Starter)
+	case "":
+		return "started (no classification in the trace)"
+	}
+	return fmt.Sprintf("%s (%s)", ev.Reason, ev.Starter)
+}
+
+// reportOvertakers lists the jobs that started during the wait interval,
+// marking those submitted later than the waiting job (true overtakers;
+// earlier-submitted jobs starting first is plain queueing).
+func reportOvertakers(w io.Writer, started []telemetry.Event, arrivalAt map[int64]int64, myArrival int64) {
+	if len(started) == 0 {
+		return
+	}
+	overtakers := 0
+	for _, ev := range started {
+		if at, ok := arrivalAt[ev.Job]; ok && at > myArrival {
+			overtakers++
+		}
+	}
+	fmt.Fprintf(w, "             %d jobs started during the wait, %d of them submitted later\n",
+		len(started), overtakers)
+	shown := 0
+	for _, ev := range started {
+		at, ok := arrivalAt[ev.Job]
+		if !ok || at <= myArrival {
+			continue
+		}
+		fmt.Fprintf(w, "               t=%-8d job %-6d %s\n", ev.At, ev.Job, startSummary(ev))
+		shown++
+		if shown == 10 && overtakers > 10 {
+			fmt.Fprintf(w, "               ... and %d more\n", overtakers-shown)
+			break
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"jobsched/internal/job"
+	"jobsched/internal/sched"
+	"jobsched/internal/sim"
+	"jobsched/internal/telemetry"
+)
+
+func explainWorkload(n int) []*job.Job {
+	r := rand.New(rand.NewSource(7))
+	jobs := make([]*job.Job, n)
+	var at int64
+	for i := range jobs {
+		at += int64(r.Intn(30))
+		run := int64(1 + r.Intn(2000))
+		est := run + int64(r.Intn(500))
+		jobs[i] = &job.Job{
+			ID: job.ID(i), Submit: at, Runtime: run, Estimate: est,
+			Nodes: 1 + r.Intn(32),
+		}
+	}
+	return jobs
+}
+
+func tracedRun(t *testing.T, start sched.StartName, nodes int, jobs []*job.Job) (*sim.Result, *telemetry.Buffer) {
+	t.Helper()
+	var buf telemetry.Buffer
+	c, err := sched.New(sched.OrderFCFS, start, sched.Config{
+		MachineNodes: nodes,
+		Hooks:        telemetry.Hooks{Recorder: &buf},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Machine{Nodes: nodes}, jobs, c, sim.Options{
+		Validate: true,
+		Recorder: &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, &buf
+}
+
+// TestEveryStartClassified is the PR's acceptance check: on a 512-job
+// run, every started job of both backfilling policies carries a start
+// reason in the trace, and Explain reconstructs a report for every job.
+func TestEveryStartClassified(t *testing.T) {
+	jobs := explainWorkload(512)
+	for _, start := range []sched.StartName{sched.StartConservative, sched.StartEASY} {
+		t.Run(string(start), func(t *testing.T) {
+			res, buf := tracedRun(t, start, 64, job.CloneAll(jobs))
+			starts := 0
+			for _, ev := range buf.Events() {
+				if ev.Type != telemetry.EventStart {
+					continue
+				}
+				starts++
+				if ev.Reason == "" || ev.Starter == "" {
+					t.Fatalf("unclassified start of job %d at t=%d: %+v", ev.Job, ev.At, ev)
+				}
+			}
+			if starts != len(res.Schedule.Allocs) {
+				t.Fatalf("%d start events for %d allocations", starts, len(res.Schedule.Allocs))
+			}
+			for id := range jobs {
+				var sb strings.Builder
+				if err := Explain(&sb, buf.Events(), int64(id)); err != nil {
+					t.Fatalf("Explain(%d): %v", id, err)
+				}
+				out := sb.String()
+				if !strings.Contains(out, "submitted") || !strings.Contains(out, "started") {
+					t.Fatalf("Explain(%d) incomplete:\n%s", id, out)
+				}
+			}
+		})
+	}
+}
+
+func TestExplainBackfillNarrative(t *testing.T) {
+	// Machine 4. Job 0 (2n, 100 s) starts at once. Job 1 (4n) blocks at
+	// the head; job 2 (2n, 50 s) backfills before job 1's shadow time.
+	jobs := []*job.Job{
+		{ID: 0, Nodes: 2, Submit: 0, Runtime: 100, Estimate: 100},
+		{ID: 1, Nodes: 4, Submit: 10, Runtime: 100, Estimate: 100},
+		{ID: 2, Nodes: 2, Submit: 20, Runtime: 50, Estimate: 50},
+	}
+	_, buf := tracedRun(t, sched.StartEASY, 4, jobs)
+
+	var head strings.Builder
+	if err := Explain(&head, buf.Events(), 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"blocked at the head of the queue",
+		"projects it can start at t=100",
+		"1 of them submitted later", // job 2 overtook it
+	} {
+		if !strings.Contains(head.String(), want) {
+			t.Errorf("head explanation missing %q:\n%s", want, head.String())
+		}
+	}
+
+	var bf strings.Builder
+	if err := Explain(&bf, buf.Events(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(bf.String(), "backfilled from position 1") ||
+		!strings.Contains(bf.String(), "shadow time t=100") {
+		t.Errorf("backfill explanation wrong:\n%s", bf.String())
+	}
+}
+
+func TestExplainUnknownJob(t *testing.T) {
+	if err := Explain(&strings.Builder{}, nil, 7); err == nil {
+		t.Error("unknown job accepted")
+	}
+	if err := Explain(&strings.Builder{}, nil, -2); err == nil {
+		t.Error("negative job ID accepted")
+	}
+}
+
+func TestExplainAbortResubmitTimeline(t *testing.T) {
+	// A failure aborts the running job; Explain shows the abort, the
+	// resubmission and the restart.
+	var buf telemetry.Buffer
+	c, err := sched.New(sched.OrderFCFS, sched.StartList, sched.Config{
+		MachineNodes: 4,
+		Hooks:        telemetry.Hooks{Recorder: &buf},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []*job.Job{{ID: 0, Nodes: 4, Submit: 0, Runtime: 100, Estimate: 100}}
+	if _, err := sim.Run(sim.Machine{Nodes: 4}, jobs, c, sim.Options{
+		Validate: true,
+		Recorder: &buf,
+		Failures: []sim.Failure{{At: 30, Nodes: 2, Duration: 50}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Explain(&sb, buf.Events(), 0); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"aborted by a hardware failure", "resubmitted", "capacity changed by +2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("abort timeline missing %q:\n%s", want, out)
+		}
+	}
+}

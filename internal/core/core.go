@@ -17,6 +17,7 @@ import (
 	"jobsched/internal/objective"
 	"jobsched/internal/sched"
 	"jobsched/internal/sim"
+	"jobsched/internal/telemetry"
 )
 
 // Machine re-exports the machine model.
@@ -41,16 +42,30 @@ type Result struct {
 // List, Backfilling (conservative), EASY-Backfilling. weighted selects
 // the scheduling weight used by SMART and PSRS.
 func NewScheduler(order sched.OrderName, start sched.StartName, machineNodes int, weighted bool) (sim.Scheduler, error) {
+	return NewSchedulerWith(order, start, machineNodes, weighted, telemetry.Hooks{})
+}
+
+// NewSchedulerWith builds a grid algorithm with telemetry hooks attached
+// to its start policy (the zero Hooks disables telemetry).
+func NewSchedulerWith(order sched.OrderName, start sched.StartName, machineNodes int, weighted bool, hooks telemetry.Hooks) (sim.Scheduler, error) {
 	w := job.UnitWeight
 	if weighted {
 		w = job.AreaWeight
 	}
-	return sched.New(order, start, sched.Config{MachineNodes: machineNodes, Weight: w})
+	return sched.New(order, start, sched.Config{MachineNodes: machineNodes, Weight: w, Hooks: hooks})
 }
 
 // Simulate runs one scheduler over a workload and summarizes the outcome.
 func Simulate(m Machine, jobs []*Job, s sim.Scheduler) (*Result, error) {
-	res, err := sim.Run(m, jobs, s, sim.Options{Validate: true})
+	return SimulateWith(m, jobs, s, sim.Options{})
+}
+
+// SimulateWith is Simulate with explicit engine options (failure
+// injection, a telemetry recorder, ...). Validation is always on — the
+// facade never returns an unchecked schedule.
+func SimulateWith(m Machine, jobs []*Job, s sim.Scheduler, opt sim.Options) (*Result, error) {
+	opt.Validate = true
+	res, err := sim.Run(m, jobs, s, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -17,6 +17,7 @@ import (
 	"jobsched/internal/objective"
 	"jobsched/internal/sched"
 	"jobsched/internal/sim"
+	"jobsched/internal/telemetry"
 )
 
 // Case selects the objective flavor of a grid run.
@@ -111,6 +112,13 @@ type Options struct {
 	// Orders/Starts override the paper grid (nil = paper grid).
 	Orders []sched.OrderName
 	Starts []sched.StartName
+	// Hooks, when non-nil, supplies per-cell telemetry attachment points
+	// (decision-trace recorder, profile op counters). It is called once
+	// per cell before construction; returning the zero Hooks disables
+	// telemetry for that cell. Recorders are driven from the cell's own
+	// simulation goroutine, so a Parallel run must hand out distinct
+	// recorders per cell (or force serial execution).
+	Hooks func(o sched.OrderName, s sched.StartName) telemetry.Hooks
 }
 
 // gridCells enumerates the (order, start) pairs of the paper's tables:
@@ -163,13 +171,20 @@ func Run(title string, m sim.Machine, jobs []*job.Job, c Case, opt Options) (*Gr
 	runCell := func(i int) error {
 		o := cells[i][0].(sched.OrderName)
 		s := cells[i][1].(sched.StartName)
-		alg, err := sched.New(o, s, cfg)
+		cellCfg := cfg
+		var hooks telemetry.Hooks
+		if opt.Hooks != nil {
+			hooks = opt.Hooks(o, s)
+			cellCfg.Hooks = hooks
+		}
+		alg, err := sched.New(o, s, cellCfg)
 		if err != nil {
 			return err
 		}
 		res, err := sim.Run(m, job.CloneAll(jobs), alg, sim.Options{
 			Validate:   opt.Validate,
 			MeasureCPU: opt.MeasureCPU,
+			Recorder:   hooks.Recorder,
 		})
 		if err != nil {
 			return fmt.Errorf("eval: %s/%s: %w", o, s, err)

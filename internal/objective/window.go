@@ -33,7 +33,9 @@ func (w Window) Contains(t int64) bool {
 		return false
 	}
 	if w.WeekdaysOnly {
-		dow := (t % week) / day // day 0 = Monday
+		// Normalize like tod: t%week is negative for pre-epoch instants,
+		// which would yield dow <= 0 and wrongly admit weekend times.
+		dow := ((t % week) + week) % week / day // day 0 = Monday
 		if dow >= 5 {
 			return false
 		}

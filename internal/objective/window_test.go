@@ -34,6 +34,50 @@ func TestWindowContains(t *testing.T) {
 	}
 }
 
+func TestWindowContainsNegativeTime(t *testing.T) {
+	// Time 0 is 0:00 Monday, so negative instants fall on the previous
+	// Sunday. Before the day-of-week normalization fix, (t % week) / day
+	// was <= 0 for t < 0 and pre-epoch weekend instants passed
+	// WeekdaysOnly.
+	w := Window{StartHour: 0, EndHour: 24, WeekdaysOnly: true}
+	cases := []struct {
+		t    int64
+		want bool
+	}{
+		{-60, false},         // Sunday 23:59, weekend
+		{-1, false},          // one second before Monday 0:00
+		{-day, false},        // Sunday 0:00 sharp
+		{-2 * day, false},    // Saturday 0:00
+		{-2*day - 1, true},   // Friday 23:59:59
+		{-3 * day, true},     // Friday 0:00
+		{-7 * day, true},     // previous Monday 0:00
+		{0, true},            // Monday 0:00 sharp (wrap boundary)
+		{-2*day + 10, false}, // previous Saturday, just after midnight
+	}
+	for _, c := range cases {
+		if got := w.Contains(c.t); got != c.want {
+			t.Errorf("Contains(%d) = %v, want %v", c.t, got, c.want)
+		}
+	}
+
+	// Hour edges also hold pre-epoch: previous Friday under PrimeTime.
+	fri := int64(-3 * day) // Friday 0:00
+	edges := []struct {
+		t    int64
+		want bool
+	}{
+		{fri + 7*hour, true},      // 7:00 in
+		{fri + 7*hour - 1, false}, // 6:59:59 out
+		{fri + 20*hour - 1, true}, // 19:59:59 in
+		{fri + 20*hour, false},    // 20:00 out
+	}
+	for _, c := range edges {
+		if got := PrimeTime.Contains(c.t); got != c.want {
+			t.Errorf("PrimeTime.Contains(%d) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
 func TestWindowAllWeek(t *testing.T) {
 	w := Window{StartHour: 0, EndHour: 24}
 	for _, ts := range []int64{0, 5 * day, 6*day + 23*hour} {

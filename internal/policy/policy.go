@@ -14,6 +14,7 @@ import (
 	"jobsched/internal/sched"
 	"jobsched/internal/sim"
 	"jobsched/internal/stats"
+	"jobsched/internal/telemetry"
 	"jobsched/internal/trace"
 )
 
@@ -144,6 +145,15 @@ type reservingStarter struct {
 
 func (s *reservingStarter) Name() string {
 	return fmt.Sprintf("%s+reserve(%.2f)", s.inner.Name(), s.reserve)
+}
+
+// LastStartDecision implements sim.DecisionExplainer by delegating to the
+// inner policy (the wrapper only pre-filters the queue).
+func (s *reservingStarter) LastStartDecision(j *job.Job) (telemetry.Decision, bool) {
+	if d, ok := s.inner.(sim.DecisionExplainer); ok {
+		return d.LastStartDecision(j)
+	}
+	return telemetry.Decision{}, false
 }
 
 func (s *reservingStarter) Pick(ordered []*job.Job, now int64, free int, running []sim.Running, m int) *job.Job {

@@ -62,6 +62,9 @@ type Profile struct {
 	// queried time. Purely a performance hint — seekIndex re-validates it
 	// on every use — so mutations only need to keep it in range lazily.
 	cur int
+	// stats, when attached via SetStats, counts kernel operations for the
+	// telemetry layer. nil (the default) costs one branch per operation.
+	stats *Stats
 }
 
 // New returns a profile for a machine with the given node count, entirely
@@ -91,6 +94,9 @@ func (p *Profile) Reset(nodes int, from int64) {
 	p.nodes = nodes
 	p.steps = append(p.steps[:0], step{at: from, free: nodes})
 	p.cur = 0
+	if p.stats != nil {
+		p.stats.Resets++
+	}
 }
 
 // Clone returns an independent deep copy.
@@ -111,6 +117,9 @@ func (p *Profile) CloneInto(dst *Profile) {
 // FreeAt returns the number of free nodes at time t. Times before the
 // first step report the first step's value.
 func (p *Profile) FreeAt(t int64) int {
+	if p.stats != nil {
+		p.stats.FreeAt++
+	}
 	return p.steps[p.seekIndex(t)].free
 }
 
@@ -178,6 +187,9 @@ func (p *Profile) Reserve(nodes int, start, end int64) {
 	if nodes <= 0 || end <= start {
 		panic("profile: Reserve requires positive nodes and start < end")
 	}
+	if p.stats != nil {
+		p.stats.Reserve++
+	}
 	i := p.splitAt(start, 0)
 	j := p.splitAt(end, i)
 	for k := i; k < j; k++ {
@@ -196,6 +208,9 @@ func (p *Profile) Reserve(nodes int, start, end int64) {
 func (p *Profile) Release(nodes int, start, end int64) {
 	if nodes <= 0 || end <= start {
 		panic("profile: Release requires positive nodes and start < end")
+	}
+	if p.stats != nil {
+		p.stats.Release++
 	}
 	i := p.splitAt(start, 0)
 	j := p.splitAt(end, i)
@@ -240,6 +255,9 @@ func (p *Profile) EarliestFit(nodes int, duration int64, notBefore int64) int64 
 	}
 	if duration <= 0 {
 		panic("profile: EarliestFit requires positive duration")
+	}
+	if p.stats != nil {
+		p.stats.EarliestFit++
 	}
 	anchor := p.seekIndex(notBefore)
 	start := notBefore
@@ -286,6 +304,9 @@ func (p *Profile) EarliestFit(nodes int, duration int64, notBefore int64) int64 
 func (p *Profile) MinFree(start, end int64) int {
 	if end <= start {
 		panic("profile: MinFree requires start < end")
+	}
+	if p.stats != nil {
+		p.stats.MinFree++
 	}
 	i := p.seekIndex(start)
 	min := p.steps[i].free

@@ -1,0 +1,37 @@
+package profile
+
+import "fmt"
+
+// Stats counts availability-profile kernel operations. It is the
+// telemetry hook for profile-heavy schedulers: attach one Stats to a
+// scratch profile via SetStats and every kernel call increments the
+// matching counter. Detached (the default), the kernel pays a single
+// nil check per operation.
+//
+// Counters are plain fields, not atomics: a profile is owned by one
+// simulation goroutine (see the Profile doc), and so is its Stats.
+type Stats struct {
+	EarliestFit int64
+	Reserve     int64
+	Release     int64
+	FreeAt      int64
+	MinFree     int64
+	Resets      int64
+}
+
+// Total returns the summed operation count.
+func (s *Stats) Total() int64 {
+	return s.EarliestFit + s.Reserve + s.Release + s.FreeAt + s.MinFree + s.Resets
+}
+
+// String renders the counters compactly for reports.
+func (s *Stats) String() string {
+	return fmt.Sprintf("fit=%d reserve=%d release=%d freeAt=%d minFree=%d resets=%d",
+		s.EarliestFit, s.Reserve, s.Release, s.FreeAt, s.MinFree, s.Resets)
+}
+
+// SetStats attaches (or, with nil, detaches) an operation counter to the
+// profile. The pointer survives Reset — a scratch profile keeps counting
+// across the per-pass rebuilds, which is exactly the per-run total the
+// telemetry layer reports.
+func (p *Profile) SetStats(s *Stats) { p.stats = s }

@@ -7,6 +7,7 @@ import (
 	"jobsched/internal/job"
 	"jobsched/internal/profile"
 	"jobsched/internal/sim"
+	"jobsched/internal/telemetry"
 )
 
 // AdvanceReservation is a promise of nodes for a fixed future interval,
@@ -72,6 +73,8 @@ type ReservedStarter struct {
 	// scratch is the reusable running+calendar profile (rebuilt per Pick;
 	// Reset recycles the step storage). Owned by one simulation goroutine.
 	scratch *profile.Profile
+	// stats counts the scratch profile's kernel ops (telemetry; may be nil).
+	stats *profile.Stats
 }
 
 // NewReservedStarter wraps a start policy with the calendar.
@@ -82,6 +85,28 @@ func NewReservedStarter(inner Starter, cal *Calendar) *ReservedStarter {
 // Name implements Starter.
 func (s *ReservedStarter) Name() string {
 	return s.inner.Name() + "+reservations"
+}
+
+// Instrument implements Instrumented: the hooks reach the inner policy,
+// and the wrapper's own scratch profile joins the op counting.
+func (s *ReservedStarter) Instrument(h telemetry.Hooks) {
+	if in, ok := s.inner.(Instrumented); ok {
+		in.Instrument(h)
+	}
+	s.stats = h.ProfileStats
+	if s.scratch != nil {
+		s.scratch.SetStats(s.stats)
+	}
+}
+
+// LastStartDecision implements sim.DecisionExplainer by delegating to the
+// inner policy (the wrapper only pre-filters the queue; the inner policy
+// makes — and classifies — the start decision).
+func (s *ReservedStarter) LastStartDecision(j *job.Job) (telemetry.Decision, bool) {
+	if d, ok := s.inner.(sim.DecisionExplainer); ok {
+		return d.LastStartDecision(j)
+	}
+	return telemetry.Decision{}, false
 }
 
 // Pick implements Starter. The wrapper prunes exactly the jobs whose
@@ -100,6 +125,7 @@ func (s *ReservedStarter) Pick(ordered []*job.Job, now int64, free int, running 
 	// future reservation windows.
 	if s.scratch == nil {
 		s.scratch = profile.New(m, now)
+		s.scratch.SetStats(s.stats)
 	} else {
 		s.scratch.Reset(m, now)
 	}

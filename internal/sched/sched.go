@@ -14,6 +14,7 @@ import (
 
 	"jobsched/internal/job"
 	"jobsched/internal/sim"
+	"jobsched/internal/telemetry"
 )
 
 // Orderer maintains the waiting queue in start-priority order.
@@ -50,9 +51,13 @@ type Composite struct {
 	order   Orderer
 	start   Starter
 	machine int
+	// decider is the start policy's sim.DecisionExplainer view, resolved
+	// once at composition (nil when the policy cannot classify starts).
+	decider sim.DecisionExplainer
 }
 
 var _ sim.Scheduler = (*Composite)(nil)
+var _ sim.DecisionExplainer = (*Composite)(nil)
 
 // Compose builds a scheduler from an order and a start policy for a
 // machine of the given size.
@@ -60,7 +65,9 @@ func Compose(order Orderer, start Starter, machineNodes int) *Composite {
 	if machineNodes <= 0 {
 		panic("sched: machine must have at least one node")
 	}
-	return &Composite{order: order, start: start, machine: machineNodes}
+	c := &Composite{order: order, start: start, machine: machineNodes}
+	c.decider, _ = start.(sim.DecisionExplainer)
+	return c
 }
 
 // Name returns "<order>/<starter>", e.g. "FCFS/EASY-Backfilling".
@@ -92,6 +99,24 @@ func (c *Composite) Startable(now int64, free int, running []sim.Running) []*job
 
 // QueueLen implements sim.Scheduler.
 func (c *Composite) QueueLen() int { return c.order.Len() }
+
+// LastStartDecision implements sim.DecisionExplainer by delegating to the
+// start policy.
+func (c *Composite) LastStartDecision(j *job.Job) (telemetry.Decision, bool) {
+	if c.decider == nil {
+		return telemetry.Decision{}, false
+	}
+	return c.decider.LastStartDecision(j)
+}
+
+// Instrument attaches telemetry hooks to the start policy (no-op when the
+// policy is not Instrumented). sched.New calls it with Config.Hooks;
+// hand-composed schedulers may call it directly.
+func (c *Composite) Instrument(h telemetry.Hooks) {
+	if in, ok := c.start.(Instrumented); ok {
+		in.Instrument(h)
+	}
+}
 
 // WrapStarter returns a new Composite whose start policy is wrap(old
 // start policy) — used to layer cross-cutting admission rules (advance
@@ -145,6 +170,11 @@ type Config struct {
 	// horizon-crossing corner cases) — used for paper-scale saturated
 	// runs. See ConservativeStarter.
 	FastConservative bool
+	// Hooks attaches the telemetry layer (decision-trace recorder and
+	// availability-profile op counters) to the start policy. The zero
+	// value disables telemetry at the cost of one branch per decision
+	// point.
+	Hooks telemetry.Hooks
 }
 
 func (c Config) withDefaults() Config {
@@ -170,7 +200,9 @@ func New(order OrderName, start StartName, cfg Config) (*Composite, error) {
 	}
 
 	if order == OrderGG {
-		return Compose(NewFCFSOrder(string(OrderGG)), NewGareyGrahamStarter(), cfg.MachineNodes), nil
+		c := Compose(NewFCFSOrder(string(OrderGG)), NewGareyGrahamStarter(), cfg.MachineNodes)
+		c.Instrument(cfg.Hooks)
+		return c, nil
 	}
 
 	var ord Orderer
@@ -202,7 +234,9 @@ func New(order OrderName, start StartName, cfg Config) (*Composite, error) {
 	default:
 		return nil, fmt.Errorf("sched: unknown start policy %q", start)
 	}
-	return Compose(ord, st, cfg.MachineNodes), nil
+	c := Compose(ord, st, cfg.MachineNodes)
+	c.Instrument(cfg.Hooks)
+	return c, nil
 }
 
 // GridOrders returns the order policies of the paper's tables, in row order.

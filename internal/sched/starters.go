@@ -6,12 +6,45 @@ import (
 	"jobsched/internal/job"
 	"jobsched/internal/profile"
 	"jobsched/internal/sim"
+	"jobsched/internal/telemetry"
 )
+
+// Instrumented is implemented by start policies that accept telemetry
+// hooks: a trace recorder for backfill-attempt events and an
+// availability-profile operation counter for their scratch profiles.
+// sched.New attaches Config.Hooks to every instrumented starter.
+type Instrumented interface {
+	Instrument(h telemetry.Hooks)
+}
+
+// decided stashes the classification of the most recent successful Pick
+// so the engine (through Composite's sim.DecisionExplainer) can merge it
+// into the job's start event. Like the starters themselves, it is owned
+// by one simulation goroutine.
+type decided struct {
+	lastJob *job.Job
+	last    telemetry.Decision
+}
+
+func (d *decided) stash(j *job.Job, dec telemetry.Decision) {
+	d.lastJob, d.last = j, dec
+}
+
+// LastStartDecision implements sim.DecisionExplainer for the embedding
+// starter.
+func (d *decided) LastStartDecision(j *job.Job) (telemetry.Decision, bool) {
+	if j != nil && j == d.lastJob {
+		return d.last, true
+	}
+	return telemetry.Decision{}, false
+}
 
 // ListStarter implements the greedy list schedule of Section 5.1: the
 // next job in the list is started as soon as the necessary resources are
 // available; the head is never skipped.
-type ListStarter struct{}
+type ListStarter struct {
+	decided
+}
 
 // NewListStarter returns the strict list start policy.
 func NewListStarter() *ListStarter { return &ListStarter{} }
@@ -20,10 +53,13 @@ func NewListStarter() *ListStarter { return &ListStarter{} }
 func (*ListStarter) Name() string { return string(StartList) }
 
 // Pick implements Starter.
-func (*ListStarter) Pick(ordered []*job.Job, now int64, free int, running []sim.Running, machineNodes int) *job.Job {
+func (s *ListStarter) Pick(ordered []*job.Job, now int64, free int, running []sim.Running, machineNodes int) *job.Job {
 	if len(ordered) == 0 || ordered[0].Nodes > free {
 		return nil
 	}
+	s.stash(ordered[0], telemetry.Decision{
+		Starter: s.Name(), Reason: telemetry.ReasonHeadOfQueue, Head: telemetry.None,
+	})
 	return ordered[0]
 }
 
@@ -32,7 +68,9 @@ func (*ListStarter) Pick(ordered []*job.Job, now int64, free int, running []sim.
 // enough resources are available, scanning the whole queue. It needs no
 // execution-time knowledge; backfilling is of no benefit because it
 // already starts anything that fits.
-type GareyGrahamStarter struct{}
+type GareyGrahamStarter struct {
+	decided
+}
 
 // NewGareyGrahamStarter returns the free-for-all start policy.
 func NewGareyGrahamStarter() *GareyGrahamStarter { return &GareyGrahamStarter{} }
@@ -41,9 +79,17 @@ func NewGareyGrahamStarter() *GareyGrahamStarter { return &GareyGrahamStarter{} 
 func (*GareyGrahamStarter) Name() string { return string(StartList) }
 
 // Pick implements Starter.
-func (*GareyGrahamStarter) Pick(ordered []*job.Job, now int64, free int, running []sim.Running, machineNodes int) *job.Job {
-	for _, j := range ordered {
+func (s *GareyGrahamStarter) Pick(ordered []*job.Job, now int64, free int, running []sim.Running, machineNodes int) *job.Job {
+	for i, j := range ordered {
 		if j.Nodes <= free {
+			d := telemetry.Decision{
+				Starter: s.Name(), Reason: telemetry.ReasonScanFit,
+				Depth: i, Head: telemetry.None,
+			}
+			if i > 0 {
+				d.Head = int64(ordered[0].ID)
+			}
+			s.stash(j, d)
 			return j
 		}
 	}
@@ -59,10 +105,13 @@ func (*GareyGrahamStarter) Pick(ordered []*job.Job, now int64, free int, running
 // may delay jobs further down — and, because projections use estimates,
 // may even delay the head when a running job finishes early.
 type EASYStarter struct {
+	decided
 	// ends is the reusable shadow-time sort buffer (Pick is called once
 	// per scheduling decision; allocating a running-list copy each time
 	// is measurable under deep backlogs). Not safe for concurrent use.
 	ends []sim.Running
+	// rec receives backfill-attempt events (nil = tracing disabled).
+	rec telemetry.Recorder
 }
 
 // NewEASYStarter returns the EASY backfilling start policy.
@@ -71,6 +120,9 @@ func NewEASYStarter() *EASYStarter { return &EASYStarter{} }
 // Name implements Starter.
 func (*EASYStarter) Name() string { return string(StartEASY) }
 
+// Instrument implements Instrumented.
+func (s *EASYStarter) Instrument(h telemetry.Hooks) { s.rec = h.Recorder }
+
 // Pick implements Starter.
 func (s *EASYStarter) Pick(ordered []*job.Job, now int64, free int, running []sim.Running, machineNodes int) *job.Job {
 	if len(ordered) == 0 {
@@ -78,6 +130,9 @@ func (s *EASYStarter) Pick(ordered []*job.Job, now int64, free int, running []si
 	}
 	head := ordered[0]
 	if head.Nodes <= free {
+		s.stash(head, telemetry.Decision{
+			Starter: s.Name(), Reason: telemetry.ReasonHeadOfQueue, Head: telemetry.None,
+		})
 		return head
 	}
 	if len(ordered) == 1 {
@@ -85,11 +140,27 @@ func (s *EASYStarter) Pick(ordered []*job.Job, now int64, free int, running []si
 	}
 	s.ends = append(s.ends[:0], running...)
 	shadow, spare := shadowTime(head, now, free, s.ends)
-	for _, j := range ordered[1:] {
+	if s.rec != nil {
+		s.rec.Record(telemetry.Event{Type: telemetry.EventBackfill, At: now,
+			Job: telemetry.None, Starter: s.Name(), Head: int64(head.ID),
+			Shadow: shadow, Spare: spare})
+	}
+	for i, j := range ordered[1:] {
 		if j.Nodes > free {
 			continue
 		}
-		if now+j.Estimate <= shadow || j.Nodes <= spare {
+		if now+j.Estimate <= shadow {
+			s.stash(j, telemetry.Decision{
+				Starter: s.Name(), Reason: telemetry.ReasonBackfillBeforeShadow,
+				Depth: i + 1, Head: int64(head.ID), Shadow: shadow, Spare: spare,
+			})
+			return j
+		}
+		if j.Nodes <= spare {
+			s.stash(j, telemetry.Decision{
+				Starter: s.Name(), Reason: telemetry.ReasonBackfillSpareNodes,
+				Depth: i + 1, Head: int64(head.ID), Shadow: shadow, Spare: spare,
+			})
 			return j
 		}
 	}
@@ -135,9 +206,14 @@ func maxInt64(a, b int64) int64 {
 // the current priority order at every scheduling pass (compression); a
 // job starts if and only if its reserved start is now.
 type ConservativeStarter struct {
+	decided
 	// maxDepth bounds how many queued jobs are walked per pass
 	// (0 = unlimited, the paper's semantics).
 	maxDepth int
+	// rec receives backfill-attempt events; stats counts the scratch
+	// profile's kernel operations (both nil = telemetry disabled).
+	rec   telemetry.Recorder
+	stats *profile.Stats
 	// fast enables the horizon acceleration: reservations starting at or
 	// beyond now + max(queue estimates) are skipped and reservation ends
 	// are clipped to that horizon. Start-now decisions agree with the
@@ -169,6 +245,15 @@ func NewFastConservativeStarter(maxDepth int) *ConservativeStarter {
 
 // Name implements Starter.
 func (*ConservativeStarter) Name() string { return string(StartConservative) }
+
+// Instrument implements Instrumented.
+func (s *ConservativeStarter) Instrument(h telemetry.Hooks) {
+	s.rec = h.Recorder
+	s.stats = h.ProfileStats
+	if s.scratch != nil {
+		s.scratch.SetStats(s.stats)
+	}
+}
 
 // Pick implements Starter.
 func (s *ConservativeStarter) Pick(ordered []*job.Job, now int64, free int, running []sim.Running, machineNodes int) *job.Job {
@@ -214,6 +299,7 @@ func (s *ConservativeStarter) Pick(ordered []*job.Job, now int64, free int, runn
 
 	if s.scratch == nil {
 		s.scratch = profile.New(machineNodes, now)
+		s.scratch.SetStats(s.stats)
 	} else {
 		s.scratch.Reset(machineNodes, now)
 	}
@@ -230,17 +316,31 @@ func (s *ConservativeStarter) Pick(ordered []*job.Job, now int64, free int, runn
 		}
 		p.Reserve(r.Job.Nodes, now, end)
 	}
-	for _, j := range ordered[:depth] {
+	for i, j := range ordered[:depth] {
 		t := p.EarliestFit(j.Nodes, j.Estimate, now)
 		if t == now {
 			// The profile assumes the machine's nominal size; an injected
 			// hardware outage can shrink the real free count below it, so
 			// re-check physical availability before starting.
 			if j.Nodes <= free {
+				d := telemetry.Decision{
+					Starter: s.Name(), Reason: telemetry.ReasonReservationDueNow,
+					Depth: i, Head: telemetry.None,
+				}
+				if i > 0 {
+					d.Head = int64(ordered[0].ID)
+				}
+				s.stash(j, d)
 				return j
 			}
 			// Cannot physically start: reserve at now so later queue jobs
 			// still respect this job's priority claim.
+		}
+		if i == 0 && s.rec != nil && len(ordered) > 1 {
+			// The head did not start now: everything deeper in this walk
+			// is a backfill attempt against the head's reservation.
+			s.rec.Record(telemetry.Event{Type: telemetry.EventBackfill, At: now,
+				Job: telemetry.None, Starter: s.Name(), Head: int64(j.ID)})
 		}
 		if t >= horizon {
 			continue // cannot influence any start-now decision

@@ -193,6 +193,76 @@ func TestConservativeRefusesReservationConflict(t *testing.T) {
 	}
 }
 
+func TestConservativeOutageRecheckKeepsPriorityClaim(t *testing.T) {
+	// The reservation profile assumes the machine's nominal size, so an
+	// injected hardware outage can make a reservation come due (t == now)
+	// while the physical free count cannot host the job. The starter must
+	// re-check `free` — and, crucially, still reserve the blocked job at
+	// now so later queue jobs cannot jump its priority claim.
+	for _, mk := range []struct {
+		name string
+		s    func() *ConservativeStarter
+	}{
+		{"exact", func() *ConservativeStarter { return NewConservativeStarter(0) }},
+		{"fast", func() *ConservativeStarter { return NewFastConservativeStarter(0) }},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			// Machine nominally 4, nothing running, but an outage holds 2
+			// nodes: free = 2. Head wants all 4 → EarliestFit says now, the
+			// physical re-check refuses it.
+			head := j(0, 4, 10)
+			behind := j(1, 2, 5)
+			q := []*job.Job{head, behind}
+
+			s := mk.s()
+			if got := s.Pick(q, 0, 2, nil, 4); got != nil {
+				t.Fatalf("started %v during the outage, want nil (head 4n > 2 free, "+
+					"behind blocked by the head's claim)", got)
+			}
+
+			// Sanity: without the head's claim the 2-node job starts at once
+			// on the same outage state.
+			s2 := mk.s()
+			if got := s2.Pick([]*job.Job{behind}, 0, 2, nil, 4); got != behind {
+				t.Fatalf("pick = %v, want the 2-node job (fits the 2 free nodes)", got)
+			}
+		})
+	}
+}
+
+func TestConservativeOutageRecheckEndToEnd(t *testing.T) {
+	// Full simulation of the outage re-check: a 2-node outage covers
+	// [0,50). The 4-node head cannot physically start before the repair,
+	// and the 2-node job behind it must not overtake (its backfill would
+	// collide with the head's reservation).
+	head := &job.Job{ID: 0, Nodes: 4, Submit: 0, Runtime: 10, Estimate: 10}
+	behind := &job.Job{ID: 1, Nodes: 2, Submit: 0, Runtime: 5, Estimate: 5}
+	c, err := New(OrderFCFS, StartConservative, Config{MachineNodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Machine{Nodes: 4}, []*job.Job{head, behind}, c, sim.Options{
+		Validate: true,
+		Failures: []sim.Failure{{At: 0, Nodes: 2, Duration: 50}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts := map[job.ID]int64{}
+	for _, a := range res.Schedule.Allocs {
+		if !a.Aborted {
+			starts[a.Job.ID] = a.Start
+		}
+	}
+	if starts[0] != 50 {
+		t.Errorf("head started at %d, want 50 (after repair)", starts[0])
+	}
+	if starts[1] < starts[0]+10 {
+		t.Errorf("queued job started at %d, overtaking the head (head [%d,%d))",
+			starts[1], starts[0], starts[0]+10)
+	}
+}
+
 func TestConservativeDepthBound(t *testing.T) {
 	// With depth 1 only the head is examined; a fitting job further down
 	// is invisible.

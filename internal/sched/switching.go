@@ -6,6 +6,7 @@ import (
 	"jobsched/internal/job"
 	"jobsched/internal/objective"
 	"jobsched/internal/sim"
+	"jobsched/internal/telemetry"
 )
 
 // Switching combines two scheduling algorithms by time of day — the
@@ -109,3 +110,20 @@ func (s *Switching) Startable(now int64, free int, running []sim.Running) []*job
 
 // QueueLen implements sim.Scheduler.
 func (s *Switching) QueueLen() int { return s.queueLen }
+
+// LastStartDecision implements sim.DecisionExplainer: the regime whose
+// start policy picked the job answers (starters match on the exact job
+// pointer of their most recent pick, so only one regime responds).
+func (s *Switching) LastStartDecision(j *job.Job) (telemetry.Decision, bool) {
+	if d, ok := s.dayStart.(sim.DecisionExplainer); ok {
+		if dec, found := d.LastStartDecision(j); found {
+			return dec, true
+		}
+	}
+	if d, ok := s.nightStart.(sim.DecisionExplainer); ok {
+		if dec, found := d.LastStartDecision(j); found {
+			return dec, true
+		}
+	}
+	return telemetry.Decision{}, false
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"jobsched/internal/job"
+	"jobsched/internal/telemetry"
 )
 
 // Options configure a simulation run.
@@ -28,6 +29,24 @@ type Options struct {
 	// until the remaining capacity suffices and are resubmitted (restart
 	// from scratch, original submission time kept for the metrics).
 	Failures []Failure
+	// Recorder, when non-nil, receives the structured decision trace:
+	// arrivals, starts (with the start-reason classification supplied by
+	// DecisionExplainer schedulers), finishes, failure aborts, capacity
+	// changes and per-query pass events. nil disables tracing at the
+	// cost of one branch per event (the nil-recorder fast path gated by
+	// cmd/bench).
+	Recorder telemetry.Recorder
+}
+
+// DecisionExplainer is optionally implemented by schedulers that can
+// classify why the job they just returned from Startable was started
+// (sched.Composite delegates to its start policy). The engine merges the
+// decision into the job's EventStart trace record; schedulers without it
+// still produce start events, just unclassified.
+type DecisionExplainer interface {
+	// LastStartDecision describes the most recent start decision for j,
+	// or reports false if the scheduler cannot attribute it.
+	LastStartDecision(j *job.Job) (telemetry.Decision, bool)
 }
 
 // Result is the outcome of a simulation run.
@@ -111,25 +130,43 @@ func Run(m Machine, jobs []*job.Job, s Scheduler, opt Options) (*Result, error) 
 		return nil, err
 	}
 	// Failure edges: capacity deltas at failure starts and repairs.
+	// Edges sharing a timestamp are coalesced into one net delta before
+	// the absorb loop runs: a failure and a repair at the same instant
+	// must not transiently drop capacity below the survivors' needs, or
+	// running jobs get spuriously aborted even though net capacity never
+	// fell (the pre-coalescing code applied negative deltas first).
 	type edge struct {
 		at    int64
 		delta int
 	}
-	var edges []edge
+	var raw []edge
 	for _, f := range failures {
-		edges = append(edges, edge{f.At, -f.Nodes}, edge{f.At + f.Duration, f.Nodes})
+		raw = append(raw, edge{f.At, -f.Nodes}, edge{f.At + f.Duration, f.Nodes})
 	}
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].at != edges[j].at {
-			return edges[i].at < edges[j].at
+	sort.Slice(raw, func(i, j int) bool { return raw[i].at < raw[j].at })
+	var edges []edge
+	for i := 0; i < len(raw); {
+		j, delta := i, 0
+		for j < len(raw) && raw[j].at == raw[i].at {
+			delta += raw[j].delta
+			j++
 		}
-		return edges[i].delta < edges[j].delta
-	})
+		if delta != 0 {
+			edges = append(edges, edge{raw[i].at, delta})
+		}
+		i = j
+	}
 
 	res := &Result{Schedule: &Schedule{
 		Machine: m,
 		Allocs:  make([]Allocation, 0, len(jobs)),
 	}}
+
+	rec := opt.Recorder
+	var explainer DecisionExplainer
+	if rec != nil {
+		explainer, _ = s.(DecisionExplainer)
+	}
 
 	var (
 		pending    completionHeap
@@ -170,7 +207,6 @@ func Run(m Machine, jobs []*job.Job, s Scheduler, opt Options) (*Result, error) 
 		return runningBuf
 	}
 
-
 	for nextArr < len(arrivals) || pending.Len() > 0 || nextEdge < len(edges) {
 		// Determine the next event time.
 		now := int64(-1)
@@ -204,13 +240,24 @@ func Run(m Machine, jobs []*job.Job, s Scheduler, opt Options) (*Result, error) 
 			free += c.job.Nodes
 			delete(runningBy, c.job.ID)
 			delete(runningSeq, c.job.ID)
+			if rec != nil {
+				rec.Record(telemetry.Event{Type: telemetry.EventFinish, At: now,
+					Job: int64(c.job.ID), Nodes: c.job.Nodes, Head: telemetry.None,
+					Killed: c.job.Killed()})
+			}
 			timed(func() { s.JobFinished(c.job, now) })
 		}
 		// Apply failure edges at `now`: capacity drops abort the
 		// newest-started jobs until the survivors fit; repairs hand the
-		// nodes back.
+		// nodes back. Edges were coalesced per timestamp, so only the net
+		// capacity change is applied.
 		for nextEdge < len(edges) && edges[nextEdge].at == now {
 			free += edges[nextEdge].delta
+			if rec != nil {
+				rec.Record(telemetry.Event{Type: telemetry.EventCapacity, At: now,
+					Job: telemetry.None, Head: telemetry.None,
+					Delta: edges[nextEdge].delta})
+			}
 			nextEdge++
 			for free < 0 {
 				victim := newestRunning(runningBy)
@@ -233,6 +280,13 @@ func Run(m Machine, jobs []*job.Job, s Scheduler, opt Options) (*Result, error) 
 				// submission time is kept so response metrics account the
 				// full delay.
 				j := victim.Job
+				if rec != nil {
+					rec.Record(telemetry.Event{Type: telemetry.EventAbort, At: now,
+						Job: int64(j.ID), Nodes: j.Nodes, Head: telemetry.None})
+					rec.Record(telemetry.Event{Type: telemetry.EventArrival, At: now,
+						Job: int64(j.ID), Nodes: j.Nodes, Head: telemetry.None,
+						Resubmit: true})
+				}
 				timed(func() { s.Submit(j, now) })
 			}
 		}
@@ -240,6 +294,10 @@ func Run(m Machine, jobs []*job.Job, s Scheduler, opt Options) (*Result, error) 
 		for nextArr < len(arrivals) && arrivals[nextArr].Submit == now {
 			j := arrivals[nextArr]
 			nextArr++
+			if rec != nil {
+				rec.Record(telemetry.Event{Type: telemetry.EventArrival, At: now,
+					Job: int64(j.ID), Nodes: j.Nodes, Head: telemetry.None})
+			}
 			timed(func() { s.Submit(j, now) })
 		}
 		if q := s.QueueLen(); q > res.MaxQueue {
@@ -250,6 +308,11 @@ func Run(m Machine, jobs []*job.Job, s Scheduler, opt Options) (*Result, error) 
 		for {
 			var starts []*job.Job
 			running := runningList()
+			if rec != nil {
+				rec.Record(telemetry.Event{Type: telemetry.EventPass, At: now,
+					Job: telemetry.None, Head: telemetry.None,
+					Queue: s.QueueLen(), Free: free})
+			}
 			timed(func() { starts = s.Startable(now, free, running) })
 			if len(starts) == 0 {
 				break
@@ -269,6 +332,22 @@ func Run(m Machine, jobs []*job.Job, s Scheduler, opt Options) (*Result, error) 
 				runningSeq[j.ID] = startSeq
 				heap.Push(&pending, completion{at: end, seq: startSeq, job: j})
 				startSeq++
+				if rec != nil {
+					ev := telemetry.Event{Type: telemetry.EventStart, At: now,
+						Job: int64(j.ID), Nodes: j.Nodes, Free: free,
+						Head: telemetry.None}
+					if explainer != nil {
+						if d, ok := explainer.LastStartDecision(j); ok {
+							ev.Starter = d.Starter
+							ev.Reason = d.Reason
+							ev.Depth = d.Depth
+							ev.Head = d.Head
+							ev.Shadow = d.Shadow
+							ev.Spare = d.Spare
+						}
+					}
+					rec.Record(ev)
+				}
 				timed(func() { s.JobStarted(j, now) })
 			}
 		}

@@ -205,6 +205,62 @@ func TestFailureWholeMachineOutage(t *testing.T) {
 	}
 }
 
+func TestSimultaneousFailAndRepairDoesNotAbort(t *testing.T) {
+	// One outage ends exactly when the next begins: at t=100 a +2 repair
+	// and a -2 failure coincide, so net capacity never changes. A 2-node
+	// job running across t=100 must not be touched. Before edges were
+	// coalesced per timestamp the engine applied the -2 edge first
+	// (negative deltas sorted ahead at equal timestamps), free dipped
+	// below zero, and the job was spuriously aborted.
+	jobs := []*job.Job{mkJob(0, 0, 150, 150, 2)}
+	res, err := Run(Machine{Nodes: 4}, jobs, &fifoScheduler{}, Options{
+		Validate: true,
+		Failures: []Failure{
+			{At: 0, Nodes: 2, Duration: 100},
+			{At: 100, Nodes: 2, Duration: 100},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AbortedAttempts != 0 {
+		t.Fatalf("AbortedAttempts = %d, want 0 (fail+repair coincide)", res.AbortedAttempts)
+	}
+	if len(res.Schedule.Allocs) != 1 {
+		t.Fatalf("%d allocations, want 1", len(res.Schedule.Allocs))
+	}
+	if a := res.Schedule.Allocs[0]; a.Start != 0 || a.End != 150 {
+		t.Fatalf("job ran [%d,%d), want [0,150) uninterrupted", a.Start, a.End)
+	}
+}
+
+func TestSimultaneousEdgesCoalesceToNetDelta(t *testing.T) {
+	// A +2 repair coincides with a -3 failure at t=100: the net -1 delta
+	// still forces an abort of the 4-node job, and capacity afterwards
+	// admits only a 3-node-or-smaller restart at t=200.
+	jobs := []*job.Job{mkJob(0, 0, 50, 50, 4)}
+	res, err := Run(Machine{Nodes: 4}, jobs, &fifoScheduler{}, Options{
+		Validate: true,
+		Failures: []Failure{
+			{At: 10, Nodes: 2, Duration: 90},
+			{At: 100, Nodes: 3, Duration: 100},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t=10: job aborted (loses 2 of 4 nodes). It needs 4 nodes, which
+	// only exist again at t=200.
+	if res.AbortedAttempts != 1 {
+		t.Fatalf("AbortedAttempts = %d, want 1", res.AbortedAttempts)
+	}
+	for _, a := range res.Schedule.Allocs {
+		if !a.Aborted && a.Start != 200 {
+			t.Fatalf("restart at %d, want 200 (full machine back)", a.Start)
+		}
+	}
+}
+
 func TestFailureAfterAllJobsDoneIsHarmless(t *testing.T) {
 	jobs := []*job.Job{mkJob(0, 0, 10, 10, 1)}
 	res, err := Run(Machine{Nodes: 4}, jobs, &fifoScheduler{}, Options{

@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSONL is a Recorder that serializes events as JSON Lines: one event
+// object per line, in emission order. Writes are buffered; call Flush
+// (or Close) before reading the underlying file.
+//
+// Encoding errors are sticky: the first error stops all further writes
+// and is reported by Flush/Close, so a full simulation run never aborts
+// mid-flight because the trace disk filled up.
+type JSONL struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONL returns a JSONL recorder writing to w.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriterSize(w, 64*1024)
+	return &JSONL{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Record implements Recorder.
+func (j *JSONL) Record(ev Event) {
+	if j.err != nil {
+		return
+	}
+	j.err = j.enc.Encode(ev)
+}
+
+// Flush drains the buffer and returns the first error encountered by any
+// Record or Flush since creation.
+func (j *JSONL) Flush() error {
+	if j.err != nil {
+		return j.err
+	}
+	j.err = j.bw.Flush()
+	return j.err
+}
+
+// ReadJSONL parses a JSONL trace back into events. It is the inverse of
+// the JSONL recorder and the input side of `analyze -explain`.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var (
+		out  []Event
+		sc   = bufio.NewScanner(r)
+		line int
+	)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(text, &ev); err != nil {
+			return nil, fmt.Errorf("telemetry: trace line %d: %w", line, err)
+		}
+		if ev.Type == "" {
+			return nil, fmt.Errorf("telemetry: trace line %d: missing event type", line)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONLRoundTrip(t *testing.T) {
+	events := []Event{
+		{Type: EventArrival, At: 0, Job: 0, Nodes: 4, Head: None},
+		{Type: EventPass, At: 0, Job: None, Queue: 1, Free: 4, Head: None},
+		{Type: EventStart, At: 0, Job: 0, Nodes: 4, Free: 0, Head: None,
+			Starter: "List", Reason: ReasonHeadOfQueue},
+		{Type: EventBackfill, At: 5, Job: None, Starter: "EASY-Backfilling",
+			Head: 1, Shadow: 30, Spare: 2},
+		{Type: EventStart, At: 5, Job: 2, Nodes: 2, Head: 1, Depth: 1,
+			Starter: "EASY-Backfilling", Reason: ReasonBackfillBeforeShadow,
+			Shadow: 30, Spare: 2},
+		{Type: EventCapacity, At: 10, Job: None, Head: None, Delta: -3},
+		{Type: EventAbort, At: 10, Job: 0, Nodes: 4, Head: None},
+		{Type: EventArrival, At: 10, Job: 0, Nodes: 4, Head: None, Resubmit: true},
+		{Type: EventFinish, At: 40, Job: 2, Nodes: 2, Head: None, Killed: true},
+	}
+	var buf bytes.Buffer
+	rec := NewJSONL(&buf)
+	for _, ev := range events {
+		rec.Record(ev)
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != len(events) {
+		t.Fatalf("%d lines, want %d", n, len(events))
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("%d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Errorf("event %d: got %+v, want %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestJSONLStickyError(t *testing.T) {
+	w := &failAfter{n: 1}
+	rec := NewJSONL(w)
+	for i := 0; i < 2000; i++ { // enough to overflow the buffer
+		rec.Record(Event{Type: EventPass, At: int64(i), Job: None, Head: None})
+	}
+	if err := rec.Flush(); err == nil {
+		t.Fatal("write error swallowed")
+	}
+	if w.writes > w.n+1 {
+		t.Errorf("%d writes after the failure, want none", w.writes-w.n)
+	}
+}
+
+type failAfter struct{ n, writes int }
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	f.writes++
+	if f.writes > f.n {
+		return 0, errWrite
+	}
+	return len(p), nil
+}
+
+var errWrite = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "disk full" }
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage line accepted")
+	}
+	if _, err := ReadJSONL(strings.NewReader("{\"at\":3}\n")); err == nil {
+		t.Error("record without event type accepted")
+	}
+	evs, err := ReadJSONL(strings.NewReader("\n\n"))
+	if err != nil || len(evs) != 0 {
+		t.Errorf("blank lines: %v, %d events", err, len(evs))
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Error("empty Multi is not nil")
+	}
+	var a, b Buffer
+	if Multi(&a, nil) != Recorder(&a) {
+		t.Error("single-survivor Multi did not unwrap")
+	}
+	m := Multi(&a, &b)
+	m.Record(Event{Type: EventArrival, Job: None, Head: None})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Errorf("fan-out reached %d/%d recorders", a.Len(), b.Len())
+	}
+}
+
+func TestCountersDerivation(t *testing.T) {
+	c := NewCounters()
+	feed := []Event{
+		{Type: EventArrival, At: 0, Job: 0},
+		{Type: EventArrival, At: 0, Job: 1},
+		// Batch at t=0: two scheduler queries, one instant.
+		{Type: EventPass, At: 0, Queue: 2, Free: 4},
+		{Type: EventStart, At: 0, Job: 0, Starter: "List", Reason: ReasonHeadOfQueue},
+		{Type: EventPass, At: 0, Queue: 1, Free: 2},
+		// Batch at t=10: a blocked head, then a backfill start.
+		{Type: EventPass, At: 10, Queue: 1, Free: 2},
+		{Type: EventBackfill, At: 10, Starter: "EASY-Backfilling", Head: 1},
+		{Type: EventStart, At: 10, Job: 2, Depth: 1, Starter: "EASY-Backfilling",
+			Reason: ReasonBackfillBeforeShadow},
+		{Type: EventCapacity, At: 20, Delta: -2},
+		{Type: EventAbort, At: 20, Job: 2},
+		{Type: EventArrival, At: 20, Job: 2, Resubmit: true},
+		{Type: EventFinish, At: 30, Job: 0, Killed: true},
+	}
+	for _, ev := range feed {
+		c.Record(ev)
+	}
+	if c.Arrivals != 3 || c.Resubmits != 1 {
+		t.Errorf("arrivals %d/%d, want 3/1", c.Arrivals, c.Resubmits)
+	}
+	if c.Starts != 2 || c.Finishes != 1 || c.Kills != 1 || c.Aborts != 1 || c.CapacityEvents != 1 {
+		t.Errorf("tallies: %+v", *c)
+	}
+	if c.StartableCalls != 3 || c.Passes != 2 {
+		t.Errorf("queries %d, passes %d, want 3 and 2", c.StartableCalls, c.Passes)
+	}
+	if c.BackfillAttempts["EASY-Backfilling"] != 1 || c.BackfillSuccesses["EASY-Backfilling"] != 1 {
+		t.Errorf("backfill: %v / %v", c.BackfillAttempts, c.BackfillSuccesses)
+	}
+	if c.StartReasons[ReasonHeadOfQueue] != 1 || c.StartReasons[ReasonBackfillBeforeShadow] != 1 {
+		t.Errorf("reasons: %v", c.StartReasons)
+	}
+	// Series: sampled at the FIRST pass of each instant.
+	if len(c.QueueDepth) != 2 || c.QueueDepth[0] != (Sample{At: 0, Value: 2}) ||
+		c.QueueDepth[1] != (Sample{At: 10, Value: 1}) {
+		t.Errorf("queue series: %v", c.QueueDepth)
+	}
+	if len(c.FreeNodes) != 2 || c.FreeNodes[0].Value != 4 {
+		t.Errorf("free series: %v", c.FreeNodes)
+	}
+
+	var rep strings.Builder
+	if err := c.Report(&rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"3 arrivals (1 resubmits)", "2 passes", "3 scheduler queries",
+		"EASY-Backfilling", "head-of-queue", "peak queue depth:  2"} {
+		if !strings.Contains(rep.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, rep.String())
+		}
+	}
+}
+
+func TestCountersHooks(t *testing.T) {
+	c := NewCounters()
+	h := c.Hooks()
+	if h.Recorder != Recorder(c) || h.ProfileStats != &c.Profile {
+		t.Error("Hooks does not feed the counter set")
+	}
+}

@@ -77,11 +77,35 @@ func swfUser(j *job.Job) string {
 	return j.User
 }
 
-// Read parses an SWF stream into jobs. Malformed lines yield an error
-// with the line number; comment lines (";" prefix) populate the header
-// where recognized. Jobs with non-positive runtime or processors are
-// skipped (cancelled entries), matching common archive practice.
+// SWF status codes (field 11).
+const (
+	StatusFailed    = 0
+	StatusCompleted = 1
+	StatusCancelled = 5
+)
+
+// ReadOptions adjusts Read's record filtering.
+type ReadOptions struct {
+	// KeepNonCompleted retains records whose status marks the job as
+	// failed (0) or cancelled (5). By default those records are skipped:
+	// they did not run to completion, so replaying them as ordinary work
+	// skews the workload (a cancelled job's runtime is the time until
+	// cancellation, not a demand).
+	KeepNonCompleted bool
+}
+
+// Read parses an SWF stream into jobs with default options. Malformed
+// lines yield an error with the line number; comment lines (";" prefix)
+// populate the header where recognized. Jobs with non-positive runtime or
+// processors are skipped (degenerate entries), as are records whose
+// status field marks them failed or cancelled — use ReadWith to keep
+// those.
 func Read(r io.Reader) (Header, []*job.Job, error) {
+	return ReadWith(r, ReadOptions{})
+}
+
+// ReadWith parses an SWF stream into jobs under the given options.
+func ReadWith(r io.Reader, opt ReadOptions) (Header, []*job.Job, error) {
 	var (
 		h    Header
 		jobs []*job.Job
@@ -103,7 +127,7 @@ func Read(r io.Reader) (Header, []*job.Job, error) {
 		if len(fields) < swfFields {
 			return h, nil, fmt.Errorf("trace: line %d: %d fields, want %d", line, len(fields), swfFields)
 		}
-		j, err := parseRecord(fields)
+		j, err := parseRecord(fields, opt)
 		if err != nil {
 			return h, nil, fmt.Errorf("trace: line %d: %w", line, err)
 		}
@@ -133,13 +157,20 @@ func parseHeaderLine(h *Header, text string) {
 	}
 }
 
-func parseRecord(fields []string) (*job.Job, error) {
+func parseRecord(fields []string, opt ReadOptions) (*job.Job, error) {
 	geti := func(i int) (int64, error) {
 		v, err := strconv.ParseInt(fields[i], 10, 64)
 		if err != nil {
 			return 0, fmt.Errorf("field %d %q: %w", i, fields[i], err)
 		}
 		return v, nil
+	}
+	status, err := geti(fieldStatus)
+	if err != nil {
+		return nil, err
+	}
+	if !opt.KeepNonCompleted && (status == StatusFailed || status == StatusCancelled) {
+		return nil, nil // failed/cancelled record: skip by default
 	}
 	submit, err := geti(fieldSubmit)
 	if err != nil {

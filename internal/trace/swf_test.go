@@ -60,6 +60,59 @@ func TestReadSkipsCancelledRecords(t *testing.T) {
 	}
 }
 
+func TestReadFiltersByStatus(t *testing.T) {
+	// Records 2 and 3 have positive runtime and procs but are marked
+	// failed (status 0) and cancelled (status 5): the status field alone
+	// must exclude them. Record 4 has unknown status (-1) and stays.
+	in := strings.Join([]string{
+		"1 0 -1 100 2 -1 -1 2 200 -1 1 u1 -1 -1 -1 -1 -1 -1",
+		"2 5 -1 80 2 -1 -1 2 200 -1 0 u2 -1 -1 -1 -1 -1 -1",
+		"3 9 -1 50 2 -1 -1 2 100 -1 5 u3 -1 -1 -1 -1 -1 -1",
+		"4 12 -1 60 2 -1 -1 2 100 -1 -1 u4 -1 -1 -1 -1 -1 -1",
+	}, "\n")
+	_, jobs, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("%d jobs, want 2 (status 0 and 5 filtered)", len(jobs))
+	}
+	if jobs[0].User != "u1" || jobs[1].User != "u4" {
+		t.Errorf("kept users %q, %q; want u1, u4", jobs[0].User, jobs[1].User)
+	}
+
+	// The opt-out keeps all four.
+	_, jobs, err = ReadWith(strings.NewReader(in), ReadOptions{KeepNonCompleted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 4 {
+		t.Fatalf("KeepNonCompleted: %d jobs, want 4", len(jobs))
+	}
+}
+
+func TestWriteEmitsCompletedStatus(t *testing.T) {
+	// Write marks every record completed (status 1), so a write→read
+	// round trip must survive the default status filter unchanged.
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{}, sample()); err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		fields := strings.Fields(line)
+		if fields[fieldStatus] != "1" {
+			t.Errorf("record %d status = %s, want 1", i, fields[fieldStatus])
+		}
+	}
+	_, jobs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != len(sample()) {
+		t.Fatalf("round trip kept %d of %d jobs", len(jobs), len(sample()))
+	}
+}
+
 func TestReadClampsRuntimeToEstimate(t *testing.T) {
 	in := "1 0 -1 500 2 -1 -1 2 200 -1 1 -1 -1 -1 -1 -1 -1 -1"
 	_, jobs, err := Read(strings.NewReader(in))

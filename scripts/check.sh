@@ -9,7 +9,11 @@
 #                      and the cross-worker determinism tests) under the
 #                      race detector
 #   4. bench smoke   — cmd/bench -quick: the perf harness still runs end
-#                      to end (tiny benchtime, no BENCH_*.json written)
+#                      to end (tiny benchtime, no BENCH_*.json written),
+#                      and the telemetry nil-recorder gate holds: the
+#                      conservative grid bench with telemetry disabled
+#                      must stay within the noise band of the
+#                      pre-telemetry commit (see cmd/bench)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -23,6 +27,6 @@ echo "==> go test -race ./..."
 go test -race ./...
 
 echo "==> bench smoke (go run ./cmd/bench -quick)"
-go run ./cmd/bench -quick -out "" >/dev/null
+go run ./cmd/bench -quick -out "" -out2 "" >/dev/null
 
 echo "OK: all tier-1 checks passed"
