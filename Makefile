@@ -1,8 +1,9 @@
 GO ?= go
 
-.PHONY: check build test vet race bench-smoke bench
+.PHONY: check build test vet lint fuzz-smoke race bench-smoke bench
 
-# Tier-1 gate: vet + build + race-enabled tests + bench smoke.
+# Tier-1 gate: vet + lint + lint-budget + build + race-enabled tests +
+# fuzz smoke + bench smoke (see scripts/check.sh for the step list).
 check:
 	./scripts/check.sh
 
@@ -14,6 +15,18 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Repo-specific static analysis (internal/lint, DESIGN.md §9), then the
+# suppression-budget audit.
+lint:
+	$(GO) run ./cmd/jobschedlint ./...
+	./scripts/lint-budget.sh
+
+# Fixed-budget fuzz runs of the SWF reader and the availability-profile
+# differential oracle — the same budgets the tier-1 gate uses.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzReadSWF$$' -fuzztime=500x ./internal/trace
+	$(GO) test -run='^$$' -fuzz='^FuzzProfileOps$$' -fuzztime=500x ./internal/profile
 
 race:
 	$(GO) test -race ./...

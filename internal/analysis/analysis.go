@@ -60,13 +60,20 @@ func BacklogSeries(s *sim.Schedule) []Sample {
 		delta int
 	}
 	// Group attempts per job: the first waits from submission, each
-	// restart from its predecessor's abort.
+	// restart from its predecessor's abort. jobOrder keeps the walk over
+	// the groups in first-allocation order — iterating the map directly
+	// would be order-randomized (maprange analyzer).
 	byJob := map[*job.Job][]sim.Allocation{}
+	var jobOrder []*job.Job
 	for _, a := range s.Allocs {
+		if _, ok := byJob[a.Job]; !ok {
+			jobOrder = append(jobOrder, a.Job)
+		}
 		byJob[a.Job] = append(byJob[a.Job], a)
 	}
 	events := make([]ev, 0, 2*len(s.Allocs))
-	for _, as := range byJob {
+	for _, j := range jobOrder {
+		as := byJob[j]
 		sort.Slice(as, func(i, j int) bool { return as[i].Start < as[j].Start })
 		waitFrom := as[0].Job.Submit
 		for _, a := range as {

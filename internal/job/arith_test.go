@@ -1,0 +1,108 @@
+package job
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+func TestAddSat(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 0, 0},
+		{1, 2, 3},
+		{-5, 3, -2},
+		{math.MaxInt64, 1, math.MaxInt64},
+		{math.MaxInt64, math.MaxInt64, math.MaxInt64},
+		{math.MinInt64, -1, math.MinInt64},
+		{math.MinInt64, math.MinInt64, math.MinInt64},
+		{math.MaxInt64, math.MinInt64, -1}, // exact, no saturation
+		{math.MaxInt64 - 10, 10, math.MaxInt64},
+		{math.MaxInt64 - 10, 11, math.MaxInt64},
+	}
+	for _, c := range cases {
+		if got := AddSat(c.a, c.b); got != c.want {
+			t.Errorf("AddSat(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSubSat(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 0, 0},
+		{5, 3, 2},
+		{3, 5, -2},
+		{math.MinInt64, 1, math.MinInt64},
+		{math.MaxInt64, -1, math.MaxInt64},
+		{math.MinInt64, math.MinInt64, 0},
+		{0, math.MinInt64, math.MaxInt64}, // -MinInt64 overflows; saturate
+	}
+	for _, c := range cases {
+		if got := SubSat(c.a, c.b); got != c.want {
+			t.Errorf("SubSat(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMulSat(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, math.MaxInt64, 0},
+		{math.MinInt64, 0, 0},
+		{3, 4, 12},
+		{-3, 4, -12},
+		{math.MaxInt64, 2, math.MaxInt64},
+		{math.MaxInt64, -2, math.MinInt64},
+		{math.MinInt64, -1, math.MaxInt64},
+		{math.MinInt64, 2, math.MinInt64},
+		{1 << 32, 1 << 32, math.MaxInt64},
+	}
+	for _, c := range cases {
+		if got := MulSat(c.a, c.b); got != c.want {
+			t.Errorf("MulSat(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMulArea(t *testing.T) {
+	if got := MulArea(256, 3600); got != 256*3600 {
+		t.Fatalf("MulArea(256, 3600) = %d", got)
+	}
+	if got := MulArea(1<<20, math.MaxInt64/2); got != math.MaxInt64 {
+		t.Fatalf("MulArea overflow: got %d, want MaxInt64", got)
+	}
+}
+
+// TestSatAgainstBig cross-checks the saturating ops against arbitrary-
+// precision arithmetic over a grid of boundary-heavy operands.
+func TestSatAgainstBig(t *testing.T) {
+	vals := []int64{
+		math.MinInt64, math.MinInt64 + 1, math.MinInt64 / 2,
+		-(1 << 32), -3, -1, 0, 1, 2, 3600,
+		1 << 31, 1 << 32, math.MaxInt64 / 2, math.MaxInt64 - 1, math.MaxInt64,
+	}
+	lo := big.NewInt(math.MinInt64)
+	hi := big.NewInt(math.MaxInt64)
+	clamp := func(z *big.Int) int64 {
+		if z.Cmp(hi) > 0 {
+			return math.MaxInt64
+		}
+		if z.Cmp(lo) < 0 {
+			return math.MinInt64
+		}
+		return z.Int64()
+	}
+	var z big.Int
+	for _, a := range vals {
+		for _, b := range vals {
+			ba, bb := big.NewInt(a), big.NewInt(b)
+			if want := clamp(z.Add(ba, bb)); AddSat(a, b) != want {
+				t.Fatalf("AddSat(%d, %d) = %d, want %d", a, b, AddSat(a, b), want)
+			}
+			if want := clamp(z.Sub(ba, bb)); SubSat(a, b) != want {
+				t.Fatalf("SubSat(%d, %d) = %d, want %d", a, b, SubSat(a, b), want)
+			}
+			if want := clamp(z.Mul(ba, bb)); MulSat(a, b) != want {
+				t.Fatalf("MulSat(%d, %d) = %d, want %d", a, b, MulSat(a, b), want)
+			}
+		}
+	}
+}

@@ -58,7 +58,7 @@ func Span(jobs []*Job) (first, last int64) {
 		if j.Submit < first {
 			first = j.Submit
 		}
-		if end := j.Submit + j.Estimate; end > last {
+		if end := AddSat(j.Submit, j.Estimate); end > last {
 			last = end
 		}
 	}

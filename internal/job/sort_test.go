@@ -107,3 +107,23 @@ func TestSpan(t *testing.T) {
 		t.Errorf("last = %d, want 1060", last)
 	}
 }
+
+// TestSpanNearMaxInt64 is the regression test for the checkedarith
+// finding in Span: submit + estimate wrapped negative for jobs whose
+// projected completion overflows int64, so the wrapped end lost the
+// `end > last` comparison and Span under-reported the horizon. The
+// saturating add keeps the comparison monotone.
+func TestSpanNearMaxInt64(t *testing.T) {
+	const maxI64 = int64(^uint64(0) >> 1)
+	jobs := []*Job{
+		{ID: 0, Nodes: 1, Submit: 100, Estimate: 50, Runtime: 50},
+		{ID: 1, Nodes: 1, Submit: maxI64 - 10, Estimate: 100, Runtime: 100},
+	}
+	first, last := Span(jobs)
+	if first != 100 {
+		t.Fatalf("first = %d, want 100", first)
+	}
+	if last != maxI64 {
+		t.Fatalf("last = %d, want MaxInt64 (pre-fix: wrapped end lost the comparison, last = %d)", last, int64(150))
+	}
+}

@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// mapRangeScope lists the packages whose outputs feed the paper tables:
+// any map-iteration-order dependence here silently perturbs results
+// across runs and Go releases.
+var mapRangeScope = []string{
+	"jobsched/internal/sim",
+	"jobsched/internal/sched",
+	"jobsched/internal/profile",
+	"jobsched/internal/eval",
+	"jobsched/internal/analysis",
+}
+
+// MapRangeAnalyzer returns the determinism analyzer: `for … range` over
+// a map inside the simulation core is flagged unless the loop body is
+// provably order-insensitive. The analyzer proves order-insensitivity
+// for three shapes:
+//
+//   - the loop binds neither key nor value (pure iteration counting);
+//   - every statement is commutative integer aggregation (x++/x--,
+//     integer += -= |= &= ^= *=) or a delete from the ranged map;
+//   - every statement appends to one slice and the statement directly
+//     after the loop sorts that slice (sort.Slice/Sort/Stable/...).
+//
+// Anything else — including floating-point accumulation, whose result
+// depends on summation order — needs a sort or a justified
+// //lint:ignore maprange directive.
+func MapRangeAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "maprange",
+		Doc:  "map iteration in the simulation core must be order-insensitive or sorted",
+	}
+	a.Run = func(pass *Pass) {
+		if !inScope(pass.Pkg.Path, mapRangeScope) {
+			return
+		}
+		pass.Pkg.inspectWithStack(func(n ast.Node, stack []ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Pkg.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if reason := mapLoopOrderRisk(pass.Pkg, rng, stack); reason != "" {
+				pass.Reportf(rng.For, "range over map %s: %s (iteration order is randomized; sort the keys, restructure, or suppress with //lint:ignore maprange <reason>)",
+					types.ExprString(rng.X), reason)
+			}
+			return true
+		})
+	}
+	return a
+}
+
+// mapLoopOrderRisk classifies a map range loop; "" means provably
+// order-insensitive, otherwise it describes the risk.
+func mapLoopOrderRisk(pkg *Package, rng *ast.RangeStmt, stack []ast.Node) string {
+	// Shape 1: `for range m` — neither key nor value bound.
+	if rng.Key == nil && rng.Value == nil {
+		return ""
+	}
+
+	rangedKey := flattenExpr(rng.X)
+
+	// Track the single slice the body may append to (shape 3).
+	appendTarget := ""
+	sawAppend := false
+
+	var classify func(s ast.Stmt) string
+	classify = func(s ast.Stmt) string {
+		switch s := s.(type) {
+		case *ast.IncDecStmt:
+			return "" // x++ / x-- is commutative
+		case *ast.AssignStmt:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return "multi-assignment in loop body"
+			}
+			switch s.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN,
+				token.AND_ASSIGN, token.XOR_ASSIGN, token.MUL_ASSIGN:
+				if tv, ok := pkg.Info.Types[s.Lhs[0]]; ok {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+						return "" // commutative integer aggregation
+					}
+				}
+				return "non-integer compound assignment (order-sensitive accumulation)"
+			case token.ASSIGN:
+				// slice = append(slice, …): candidate for append-then-sort.
+				if call, ok := s.Rhs[0].(*ast.CallExpr); ok {
+					if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" && len(call.Args) >= 2 {
+						dst := flattenExpr(s.Lhs[0])
+						if dst != "" && dst == flattenExpr(call.Args[0]) {
+							if appendTarget == "" || appendTarget == dst {
+								appendTarget = dst
+								sawAppend = true
+								return ""
+							}
+							return "appends to more than one slice"
+						}
+					}
+				}
+				return "assignment whose value depends on iteration order"
+			}
+			return "assignment whose value depends on iteration order"
+		case *ast.ExprStmt:
+			// delete(rangedMap, k) removes entries; order-irrelevant.
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "delete" && len(call.Args) == 2 {
+					if rangedKey != "" && flattenExpr(call.Args[0]) == rangedKey {
+						return ""
+					}
+				}
+			}
+			return "call with iteration-order-dependent effects"
+		case *ast.BlockStmt:
+			for _, inner := range s.List {
+				if r := classify(inner); r != "" {
+					return r
+				}
+			}
+			return ""
+		}
+		return "loop body is not a recognized order-insensitive aggregation"
+	}
+
+	for _, s := range rng.Body.List {
+		if r := classify(s); r != "" {
+			return r
+		}
+	}
+
+	if sawAppend {
+		if nextStmtSorts(pkg, rng, stack, appendTarget) {
+			return ""
+		}
+		return "collects map entries into " + appendTarget + " without sorting it immediately after the loop"
+	}
+	return ""
+}
+
+// nextStmtSorts reports whether the statement directly following the
+// range loop in its enclosing block is a sort call on the named slice.
+func nextStmtSorts(pkg *Package, rng *ast.RangeStmt, stack []ast.Node, slice string) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	block, ok := stack[len(stack)-1].(*ast.BlockStmt)
+	if !ok {
+		return false
+	}
+	for i, s := range block.List {
+		if s != ast.Stmt(rng) {
+			continue
+		}
+		if i+1 >= len(block.List) {
+			return false
+		}
+		expr, ok := block.List[i+1].(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := expr.X.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return false
+		}
+		fn := pkg.calleeFunc(call)
+		if fn == nil || fn.Pkg() == nil {
+			return false
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return false
+		}
+		return flattenExpr(call.Args[0]) == slice
+	}
+	return false
+}

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// simPurityScope: the embeddable simulation core. These packages are
+// linked into every driver (CLI, eval grids, benches, future services);
+// process-global effects — stdout chatter, file handles, environment
+// reads — would make them unusable as a library and non-reproducible as
+// an experiment.
+var simPurityScope = []string{
+	"jobsched/internal/sim",
+	"jobsched/internal/sched",
+	"jobsched/internal/profile",
+	"jobsched/internal/objective",
+}
+
+// impureImports are the packages that carry process-global I/O.
+var impureImports = map[string]string{
+	"os":        "process/file-system access",
+	"io/ioutil": "file I/O (and deprecated)",
+	"io/fs":     "file-system access",
+	"log":       "writes to process-global stderr",
+	"net":       "network I/O",
+	"net/http":  "network I/O",
+	"os/exec":   "subprocess execution",
+}
+
+// stdoutPrinters are the fmt functions that write to process stdout.
+var stdoutPrinters = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+}
+
+// SimPurityAnalyzer returns the core-purity analyzer: the simulation
+// core must not import I/O packages or print to stdout. Results leave
+// the core as returned values (schedules, metrics, telemetry events);
+// rendering them is the CLI layer's job.
+func SimPurityAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "simpurity",
+		Doc:  "the simulation core stays embeddable: no os/file/network imports, no printing",
+	}
+	a.Run = func(pass *Pass) {
+		if !inScope(pass.Pkg.Path, simPurityScope) {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if why, bad := impureImports[path]; bad {
+					pass.Reportf(imp.Pos(), "import %q in the simulation core (%s): return data to the caller instead, or suppress with //lint:ignore simpurity <reason>", path, why)
+				}
+			}
+		}
+		pass.Pkg.inspectWithStack(func(n ast.Node, _ []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// Builtin print/println write to stderr and escape any Writer
+			// abstraction.
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := pass.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin &&
+					(id.Name == "print" || id.Name == "println") {
+					pass.Reportf(call.Pos(), "builtin %s in the simulation core: debugging output must not reach the process streams", id.Name)
+				}
+				return true
+			}
+			fn := pass.Pkg.calleeFunc(call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if fn.Pkg().Path() == "fmt" && stdoutPrinters[fn.Name()] {
+				pass.Reportf(call.Pos(), "fmt.%s writes to process stdout from the simulation core: take an io.Writer or return the data", fn.Name())
+			}
+			return true
+		})
+	}
+	return a
+}

@@ -1,0 +1,56 @@
+// Corpus for the checkedarith (time-arithmetic overflow) analyzer.
+// Loaded with the synthetic import path
+// jobsched/internal/objective/fixture — inside the time-accounting
+// scope.
+package fixture
+
+type alloc struct {
+	start, end int64
+	nodes      int
+}
+
+// flaggedProduct is the area = nodes × time pattern.
+func flaggedProduct(a alloc) int64 {
+	return int64(a.nodes) * (a.end - a.start) // want `unchecked int64 multiplication`
+}
+
+// flaggedSum adds two non-constant times.
+func flaggedSum(start, estimate int64) int64 {
+	return start + estimate // want `unchecked int64 addition`
+}
+
+// flaggedAccumulate: += on an int64 accumulator.
+func flaggedAccumulate(spans []int64) int64 {
+	var total int64
+	for _, s := range spans {
+		total += s // want `unchecked int64 accumulation into total`
+	}
+	return total
+}
+
+// okVarPlusConstant: adding a literal cannot overflow by more than the
+// literal; exempt to keep the signal/noise ratio useful.
+func okVarPlusConstant(t int64) int64 {
+	return t + 3600
+}
+
+// okConstantFolded: the compiler evaluates and range-checks this.
+func okConstantFolded() int64 {
+	const day = 24 * 3600
+	return day * 7
+}
+
+// okFloat: float64 arithmetic loses precision but does not wrap.
+func okFloat(a alloc) float64 {
+	return float64(a.nodes) * float64(a.end-a.start)
+}
+
+// okSmallInts: only int64 carries simulation times.
+func okSmallInts(a, b int32) int32 {
+	return a * b
+}
+
+// okSubtraction: spans (end - start) stay in range for ordered times.
+func okSubtraction(a alloc) int64 {
+	return a.end - a.start
+}

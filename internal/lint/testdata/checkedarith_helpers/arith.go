@@ -1,0 +1,31 @@
+// Corpus for the checkedarith helper exemption: loaded with the import
+// path jobsched/internal/job, the bodies of the checked helpers
+// themselves may use raw int64 arithmetic (they implement the checks).
+// Arithmetic in any other function of the package is still flagged.
+package job
+
+func AddSat(a, b int64) int64 {
+	s := a + b
+	if (a >= 0) == (b >= 0) && (s >= 0) != (a >= 0) {
+		if a >= 0 {
+			return 1<<63 - 1
+		}
+		return -1 << 63
+	}
+	return s
+}
+
+func MulSat(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	p := a * b
+	if p/b != a {
+		return 1<<63 - 1
+	}
+	return p
+}
+
+func notAHelper(a, b int64) int64 {
+	return a + b // want `unchecked int64 addition`
+}

@@ -1,0 +1,83 @@
+// Corpus for the maprange (determinism) analyzer. Loaded by the test
+// harness with the synthetic import path jobsched/internal/sim/fixture,
+// which puts it inside the analyzer's simulation-core scope.
+package fixture
+
+import "sort"
+
+// flaggedSideEffect: the body's effect depends on which key comes first.
+func flaggedSideEffect(m map[int]int) int {
+	last := 0
+	for _, v := range m { // want `range over map m: assignment whose value depends on iteration order`
+		last = v
+	}
+	return last
+}
+
+// flaggedFloatSum: float accumulation is order-sensitive (FP addition is
+// not associative).
+func flaggedFloatSum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `non-integer compound assignment`
+		sum += v
+	}
+	return sum
+}
+
+// flaggedCollectNoSort: keys are collected but never sorted.
+func flaggedCollectNoSort(m map[string]bool) []string {
+	var keys []string
+	for k := range m { // want `collects map entries into keys without sorting`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// flaggedCall: arbitrary calls may observe the order.
+func flaggedCall(m map[int]int, f func(int)) {
+	for k := range m { // want `call with iteration-order-dependent effects`
+		f(k)
+	}
+}
+
+// okPureCount binds no loop variables.
+func okPureCount(m map[int]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// okIntAggregate: integer sums/maxima-by-or are commutative.
+func okIntAggregate(m map[string]int64) int64 {
+	var total int64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// okDelete: deleting from the ranged map is order-irrelevant.
+func okDelete(m map[int]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// okCollectThenSort: the canonical sorted-keys idiom.
+func okCollectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// okSliceRange: ranging over a slice is ordered.
+func okSliceRange(s []int, f func(int)) {
+	for _, v := range s {
+		f(v)
+	}
+}

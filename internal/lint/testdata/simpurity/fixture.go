@@ -1,0 +1,50 @@
+// Corpus for the simpurity analyzer. Loaded with the synthetic import
+// path jobsched/internal/profile/fixture — inside the embeddable core.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"os" // want `import "os" in the simulation core`
+	"strings"
+)
+
+// flaggedPrint writes to process stdout.
+func flaggedPrint(v int) {
+	fmt.Println("value", v) // want `fmt.Println writes to process stdout`
+}
+
+// flaggedPrintf likewise.
+func flaggedPrintf(v int) {
+	fmt.Printf("value %d\n", v) // want `fmt.Printf writes to process stdout`
+}
+
+// flaggedBuiltin: the predeclared println escapes any Writer.
+func flaggedBuiltin(v int) {
+	println(v) // want `builtin println in the simulation core`
+}
+
+// useOS keeps the flagged import referenced so the fixture type-checks.
+func useOS() string {
+	return os.DevNull
+}
+
+// okWriter: rendering through an injected io.Writer is the sanctioned
+// shape.
+func okWriter(w io.Writer, v int) {
+	fmt.Fprintf(w, "value %d\n", v)
+}
+
+// okErrorf: error construction is not I/O.
+func okErrorf(v int) error {
+	return fmt.Errorf("bad value %d", v)
+}
+
+// okBuilder: in-memory formatting is fine.
+func okBuilder(parts []string) string {
+	var b strings.Builder
+	for _, p := range parts {
+		b.WriteString(p)
+	}
+	return b.String()
+}

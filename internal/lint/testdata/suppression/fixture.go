@@ -1,0 +1,55 @@
+// Corpus for the suppression machinery itself (exercised by
+// TestSuppressionMachinery, not the want-comment harness). Loaded with
+// the synthetic import path jobsched/internal/sim/fixture.
+package fixture
+
+// justifiedAbove: a well-formed directive on the line above the finding
+// suppresses it and records the reason.
+func justifiedAbove(m map[int]int) int {
+	last := 0
+	//lint:ignore maprange test fixture: order independence argued elsewhere
+	for _, v := range m {
+		last = v
+	}
+	return last
+}
+
+// justifiedTrailing: a well-formed directive on the finding's own line.
+func justifiedTrailing(m map[int]int) int {
+	last := 0
+	for _, v := range m { //lint:ignore maprange trailing-comment form
+		last = v
+	}
+	return last
+}
+
+// missingReason: a directive without a justification is rejected — the
+// finding stays active and the directive itself is reported.
+func missingReason(m map[int]int) int {
+	last := 0
+	//lint:ignore maprange
+	for _, v := range m {
+		last = v
+	}
+	return last
+}
+
+// wrongAnalyzer: a directive only silences the analyzers it names.
+func wrongAnalyzer(m map[int]int) int {
+	last := 0
+	//lint:ignore wallclock reason that names the wrong analyzer
+	for _, v := range m {
+		last = v
+	}
+	return last
+}
+
+// multiName: one directive may name several analyzers.
+func multiName(m map[int]int) int {
+	last := 0
+	//lint:ignore wallclock,maprange covers both analyzers
+	for _, v := range m {
+		last = v
+	}
+	return last
+}

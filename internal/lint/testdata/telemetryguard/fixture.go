@@ -1,0 +1,77 @@
+// Corpus for the telemetryguard analyzer. Loaded with the synthetic
+// import path jobsched/internal/sched/fixture; imports the real
+// telemetry package so the Recorder interface type matches.
+package fixture
+
+import "jobsched/internal/telemetry"
+
+type starter struct {
+	rec telemetry.Recorder
+}
+
+// flaggedUnguarded is the regression shape of ISSUE 3's satellite: the
+// nil guard around an emission was dropped.
+func (s *starter) flaggedUnguarded(now int64) {
+	s.rec.Record(telemetry.Event{At: now}) // want `s.rec.Record is not dominated by a .s.rec != nil. check`
+}
+
+// flaggedOuterGuardInnerClosure: the closure may outlive the guard.
+func (s *starter) flaggedOuterGuardInnerClosure() func() {
+	if s.rec != nil {
+		return func() {
+			s.rec.Record(telemetry.Event{}) // want `s.rec.Record is not dominated`
+		}
+	}
+	return func() {}
+}
+
+// flaggedGuardOnOtherVar: the checked chain must be the receiver chain.
+func flaggedGuardOnOtherVar(a, b telemetry.Recorder) {
+	if a != nil {
+		b.Record(telemetry.Event{}) // want `b.Record is not dominated`
+	}
+}
+
+// flaggedNonTrivialReceiver: calls through an arbitrary expression
+// cannot be guard-checked; bind to a variable first.
+func flaggedNonTrivialReceiver(pick func() telemetry.Recorder) {
+	pick().Record(telemetry.Event{}) // want `called on a non-trivial expression`
+}
+
+// okDirectGuard is the canonical emission site.
+func (s *starter) okDirectGuard(now int64) {
+	if s.rec != nil {
+		s.rec.Record(telemetry.Event{At: now})
+	}
+}
+
+// okConjunctGuard mirrors the conservative starter's combined condition.
+func (s *starter) okConjunctGuard(depth int) {
+	if depth == 0 && s.rec != nil && depth < 10 {
+		s.rec.Record(telemetry.Event{Depth: depth})
+	}
+}
+
+// okEarlyReturn mirrors the guard-return shape.
+func okEarlyReturn(rec telemetry.Recorder) {
+	if rec == nil {
+		return
+	}
+	rec.Record(telemetry.Event{})
+	rec.Record(telemetry.Event{Depth: 1})
+}
+
+// okGuardedClosure: the guard sits inside the literal that emits.
+func (s *starter) okGuardedClosure() func() {
+	return func() {
+		if s.rec != nil {
+			s.rec.Record(telemetry.Event{})
+		}
+	}
+}
+
+// okConcreteBuffer: calls on a concrete recorder implementation (not the
+// interface) are the implementation's own business.
+func okConcreteBuffer(b *telemetry.Buffer) {
+	b.Record(telemetry.Event{})
+}

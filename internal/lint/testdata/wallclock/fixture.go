@@ -1,0 +1,41 @@
+// Corpus for the wallclock/randomness-hygiene analyzer. Loaded with the
+// synthetic import path jobsched/internal/workload/fixture: inside the
+// internal tree, not on the CPU-timing allowlist, and outside
+// internal/stats (so even seeded constructors are flagged toward the
+// stats wrappers).
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func flaggedNow() int64 {
+	return time.Now().Unix() // want `time.Now reads the wall clock`
+}
+
+func flaggedSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since reads the wall clock`
+}
+
+func flaggedSleep() {
+	time.Sleep(time.Second) // want `time.Sleep reads the wall clock`
+}
+
+func flaggedGlobalRand() int {
+	return rand.Intn(10) // want `package-level rand.Intn draws from the process-global generator`
+}
+
+func flaggedConstructorOutsideStats(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want `rand.New outside internal/stats` `rand.NewSource outside internal/stats`
+}
+
+// okSeededMethods: methods on an explicit *rand.Rand carry their seed.
+func okSeededMethods(r *rand.Rand) int64 {
+	return r.Int63n(100)
+}
+
+// okDurationArithmetic: time.Duration values and conversions are pure.
+func okDurationArithmetic(d time.Duration) float64 {
+	return d.Seconds() + (3 * time.Second).Seconds()
+}

@@ -1,0 +1,15 @@
+// Allowlist corpus for the wallclock analyzer: loaded with the import
+// path jobsched/internal/sim and this file named engine.go, it emulates
+// the sanctioned CPU-timing site (the Tables 7–8 scheduler-time
+// measurement). No findings expected.
+package sim
+
+import "time"
+
+// MeasuredCall times a scheduler invocation — the one legitimate
+// wall-clock read in the simulation core.
+func MeasuredCall(f func()) time.Duration {
+	t0 := time.Now()
+	f()
+	return time.Since(t0)
+}

@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallclockScope: the whole internal tree is a deterministic function of
+// the workload; only the two CPU-timing sites and the seeded-RNG
+// constructors are exempt.
+var wallclockScope = []string{"jobsched/internal"}
+
+// wallclockAllowedFiles maps (package path, file basename) pairs that
+// may read the wall clock: the scheduler-computation-time measurement of
+// Tables 7–8 (sim engine) and the grid duration diagnostic (eval).
+var wallclockAllowedFiles = map[[2]string]bool{
+	{"jobsched/internal/sim", "engine.go"}: true,
+	{"jobsched/internal/eval", "grid.go"}:  true,
+}
+
+// wallclockTimeFuncs are the time-package functions that observe the
+// wall clock (or block on it).
+var wallclockTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+}
+
+// seededRandConstructors build RNGs from an explicit seed and are the
+// one sanctioned way to randomness — but only inside internal/stats,
+// which wraps them behind stats.NewRand/stats.Split.
+var seededRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+// WallclockAnalyzer returns the wallclock/randomness-hygiene analyzer:
+// simulation results must be replayable, so reading the wall clock or
+// drawing from the process-global math/rand state anywhere in
+// internal/... is flagged. Seeded *rand.Rand methods are fine (the
+// receiver carries the seed); the package-level rand functions are not.
+func WallclockAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "wallclock",
+		Doc:  "no wall-clock reads or unseeded global randomness in the simulation tree",
+	}
+	a.Run = func(pass *Pass) {
+		if !inScope(pass.Pkg.Path, wallclockScope) {
+			return
+		}
+		pass.Pkg.inspectWithStack(func(n ast.Node, _ []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.Pkg.calleeFunc(call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods (e.g. on a seeded *rand.Rand) are fine
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if !wallclockTimeFuncs[fn.Name()] {
+					return true
+				}
+				file := pass.Pkg.baseFilename(call.Pos())
+				if wallclockAllowedFiles[[2]string{pass.Pkg.Path, file}] {
+					return true // sanctioned CPU-timing site
+				}
+				pass.Reportf(call.Pos(), "time.%s reads the wall clock: simulation results must be a function of the workload alone (allowlisted: the CPU-timing sites in sim/engine.go and eval/grid.go; elsewhere suppress with //lint:ignore wallclock <reason>)", fn.Name())
+			case "math/rand", "math/rand/v2":
+				if seededRandConstructors[fn.Name()] {
+					if hasPathPrefix(pass.Pkg.Path, "jobsched/internal/stats") {
+						return true // the sanctioned seeded-RNG constructors
+					}
+					pass.Reportf(call.Pos(), "rand.%s outside internal/stats: construct RNGs via stats.NewRand/stats.Split so seeds stay explicit and streams splittable", fn.Name())
+					return true
+				}
+				pass.Reportf(call.Pos(), "package-level rand.%s draws from the process-global generator: take an explicit seeded *rand.Rand (stats.NewRand) instead", fn.Name())
+			}
+			return true
+		})
+	}
+	return a
+}

@@ -3,6 +3,7 @@ package objective
 import (
 	"sort"
 
+	"jobsched/internal/job"
 	"jobsched/internal/sim"
 )
 
@@ -129,16 +130,20 @@ func (w Window) overlap(lo, hi int64) int64 {
 		return 0
 	}
 	// Hour-resolution walk is sufficient and simple: windows are aligned
-	// to hours. Iterate hour boundaries intersecting [lo, hi).
+	// to hours. Iterate hour boundaries intersecting [lo, hi). The next
+	// boundary is computed with saturating arithmetic: within one hour of
+	// MaxInt64 the raw (t/3600+1)*3600 wraps negative, which threw the
+	// cursor into the far past and the walk never terminated (regression:
+	// TestOverlapNearMaxInt64).
 	var total int64
 	t := lo
 	for t < hi {
-		hourEnd := (t/3600 + 1) * 3600
+		hourEnd := job.MulSat(t/3600+1, 3600)
 		if hourEnd > hi {
 			hourEnd = hi
 		}
 		if w.Contains(t) {
-			total += hourEnd - t
+			total = job.AddSat(total, hourEnd-t)
 		}
 		t = hourEnd
 	}

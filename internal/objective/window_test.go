@@ -2,6 +2,7 @@ package objective
 
 import (
 	"testing"
+	"time"
 
 	"jobsched/internal/job"
 	"jobsched/internal/sim"
@@ -160,5 +161,36 @@ func TestWindowedIdleTimeEmptySchedule(t *testing.T) {
 	m := WindowedIdleTime{W: PrimeTime}
 	if got := m.Eval(&sim.Schedule{Machine: sim.Machine{Nodes: 4}}); got != 0 {
 		t.Errorf("empty schedule idle = %v", got)
+	}
+}
+
+// TestOverlapNearMaxInt64 is the regression test for the hour-walk
+// overflow found by the checkedarith lint analyzer: for instants within
+// one hour of MaxInt64, (t/3600+1)*3600 wrapped negative, so overlap's
+// hour cursor jumped to the far negative past and the walk effectively
+// never terminated (and would have accumulated garbage if it had). The
+// fixed walk saturates the hour boundary and clamps it to hi. Run the
+// walk in a goroutine with a deadline so the pre-fix code fails fast
+// instead of hanging the suite.
+func TestOverlapNearMaxInt64(t *testing.T) {
+	const maxI64 = int64(^uint64(0) >> 1)
+	w := Window{StartHour: 0, EndHour: 24} // always-in-window: pure walk
+	lo := maxI64 - 2*hour - 100
+	hi := maxI64 - 1
+	done := make(chan int64, 1)
+	go func() { done <- w.overlap(lo, hi) }()
+	select {
+	case got := <-done:
+		if want := hi - lo; got != want {
+			t.Fatalf("overlap(%d, %d) = %d, want %d", lo, hi, got, want)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("overlap(%d, %d) did not terminate: hour-boundary overflow", lo, hi)
+	}
+	// The weekday filter takes the same walk; make sure the clamped
+	// boundary keeps Contains sampling consistent right up to MaxInt64.
+	got := PrimeTime.overlap(maxI64-10, maxI64)
+	if got != 0 && got != 10 {
+		t.Fatalf("PrimeTime.overlap near MaxInt64 = %d, want 0 or 10", got)
 	}
 }

@@ -291,10 +291,9 @@ func (s *ConservativeStarter) Pick(ordered []*job.Job, now int64, free int, runn
 				maxEst = j.Estimate
 			}
 		}
-		horizon = now + maxEst
-		if horizon < now { // overflow
-			horizon = profile.Infinity
-		}
+		// Saturating add: a huge estimate near Infinity degrades to the
+		// exact (unaccelerated) walk instead of wrapping negative.
+		horizon = job.AddSat(now, maxEst)
 	}
 
 	if s.scratch == nil {
@@ -345,8 +344,8 @@ func (s *ConservativeStarter) Pick(ordered []*job.Job, now int64, free int, runn
 		if t >= horizon {
 			continue // cannot influence any start-now decision
 		}
-		end := t + j.Estimate
-		if end < t || end > horizon { // overflow or beyond horizon
+		end := job.AddSat(t, j.Estimate)
+		if end > horizon {
 			end = horizon
 		}
 		if end > t {

@@ -98,6 +98,7 @@ func (h *completionHeap) Pop() interface{} {
 // has the least sunk work.
 func newestRunning(running map[job.ID]Running) *Running {
 	var best *Running
+	//lint:ignore maprange max-selection with a total tie-break on (Start, Job.ID): every iteration order yields the same victim, and sorting would allocate on the failure-handling path
 	for id := range running {
 		r := running[id]
 		if best == nil || r.Start > best.Start ||

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"jobsched/internal/job"
+)
+
+// FuzzReadSWF feeds arbitrary byte streams through the SWF reader and
+// checks the invariants the simulator depends on: no panics, and every
+// job that survives filtering is well-formed (positive runtime and
+// width, estimate at least the runtime under kill-at-limit semantics,
+// non-negative submit, dense IDs). It also cross-checks the status
+// filter: the default read must yield a subset of the KeepNonCompleted
+// read, and both must agree on the header.
+func FuzzReadSWF(f *testing.F) {
+	f.Add("; Computer: iPSC/860\n; MaxNodes: 128\n" +
+		"1 0 -1 120 16 -1 -1 16 300 -1 1 7 -1 -1 -1 -1 -1 -1\n" +
+		"2 30 -1 600 32 -1 -1 32 600 -1 1 8 -1 -1 -1 -1 -1 -1\n")
+	// Failed (0) and cancelled (5) records: skipped by default,
+	// retained under KeepNonCompleted.
+	f.Add("1 0 -1 120 16 -1 -1 16 300 -1 0 7 -1 -1 -1 -1 -1 -1\n" +
+		"2 10 -1 50 8 -1 -1 8 100 -1 5 7 -1 -1 -1 -1 -1 -1\n" +
+		"3 20 -1 60 4 -1 -1 4 60 -1 1 9 -1 -1 -1 -1 -1 -1\n")
+	// Degenerate and clamped records: zero runtime, missing req_procs,
+	// runtime above the estimate, negative submit.
+	f.Add("1 0 -1 0 16 -1 -1 16 300 -1 1 -1 -1 -1 -1 -1 -1 -1\n" +
+		"2 -5 -1 700 32 -1 -1 -1 600 -1 1 -1 -1 -1 -1 -1 -1 -1\n")
+	// Malformed: short record, non-numeric field.
+	f.Add("1 0 -1 120 16 -1 -1 16\n")
+	f.Add("x 0 -1 120 16 -1 -1 16 300 -1 1 7 -1 -1 -1 -1 -1 -1\n")
+	// Header-only and near-boundary numerics.
+	f.Add("; Note: header only\n\n  \n")
+	f.Add("1 9223372036854775807 -1 9223372036854775807 1 -1 -1 1 9223372036854775807 -1 1 -1 -1 -1 -1 -1 -1 -1\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		if len(data) > 1<<16 {
+			return // keep the per-input work bounded
+		}
+		h, jobs, err := Read(strings.NewReader(data))
+		hAll, all, errAll := ReadWith(strings.NewReader(data), ReadOptions{KeepNonCompleted: true})
+
+		// The options only change record filtering, never parse success
+		// or header recognition.
+		if (err == nil) != (errAll == nil) {
+			t.Fatalf("filter changed parse outcome: default err %v, keep err %v", err, errAll)
+		}
+		if err != nil {
+			return
+		}
+		if h != hAll {
+			t.Fatalf("filter changed header: %+v vs %+v", h, hAll)
+		}
+		if len(jobs) > len(all) {
+			t.Fatalf("default read kept %d jobs, KeepNonCompleted only %d", len(jobs), len(all))
+		}
+
+		for _, set := range [][]*job.Job{jobs, all} {
+			for i, j := range set {
+				if int(j.ID) != i {
+					t.Fatalf("job %d: ID %d not dense", i, j.ID)
+				}
+				if j.Runtime < 1 || j.Nodes < 1 {
+					t.Fatalf("job %d: degenerate runtime %d / nodes %d survived", i, j.Runtime, j.Nodes)
+				}
+				if j.Estimate < j.Runtime {
+					t.Fatalf("job %d: estimate %d < runtime %d violates kill-at-limit", i, j.Estimate, j.Runtime)
+				}
+				if j.Submit < 0 {
+					t.Fatalf("job %d: negative submit %d", i, j.Submit)
+				}
+			}
+		}
+
+		// Round-trip: writing the parsed jobs and re-reading them must
+		// reproduce the same job stream (Write emits status 1, so the
+		// default filter keeps everything).
+		var buf bytes.Buffer
+		if werr := Write(&buf, h, jobs); werr != nil {
+			t.Fatalf("writing parsed jobs: %v", werr)
+		}
+		h2, jobs2, rerr := Read(&buf)
+		if rerr != nil {
+			t.Fatalf("re-reading written trace: %v", rerr)
+		}
+		if len(jobs2) != len(jobs) {
+			t.Fatalf("round trip lost jobs: %d -> %d", len(jobs), len(jobs2))
+		}
+		if h.Computer != h2.Computer || h.MaxNodes != h2.MaxNodes {
+			t.Fatalf("round trip changed header: %+v -> %+v", h, h2)
+		}
+		for i := range jobs {
+			a, b := jobs[i], jobs2[i]
+			if a.Submit != b.Submit || a.Runtime != b.Runtime ||
+				a.Estimate != b.Estimate || a.Nodes != b.Nodes {
+				t.Fatalf("round trip changed job %d: %+v -> %+v", i, a, b)
+			}
+		}
+	})
+}

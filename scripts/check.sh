@@ -2,31 +2,55 @@
 # Tier-1 gate: everything a change must pass before it lands.
 # Run via `make check` or directly: ./scripts/check.sh
 #
-# Steps:
-#   1. go vet        — static checks
-#   2. go build      — every package compiles
-#   3. go test -race — full suite (incl. the differential profile oracle
-#                      and the cross-worker determinism tests) under the
-#                      race detector
-#   4. bench smoke   — cmd/bench -quick: the perf harness still runs end
-#                      to end (tiny benchtime, no BENCH_*.json written),
-#                      and the telemetry nil-recorder gate holds: the
-#                      conservative grid bench with telemetry disabled
-#                      must stay within the noise band of the
-#                      pre-telemetry commit (see cmd/bench)
+# Steps (fail-fast; the failing step is named on exit):
+#   vet          go vet ./... — the default analyzer suite
+#   vet-focus    go vet -copylocks -loopclosure -atomic ./... — the three
+#                analyzers whose findings have historically been
+#                correctness bugs in simulators (locks copied into
+#                goroutines, loop variables captured by reference,
+#                torn counter updates)
+#   lint         go run ./cmd/jobschedlint ./... — the repo-specific
+#                analyzers (determinism, wallclock hygiene, telemetry
+#                guards, checked arithmetic, sim purity); see DESIGN.md §9
+#   lint-budget  scripts/lint-budget.sh — every //lint:ignore directive
+#                must be ledgered with a justification
+#   build        go build ./... — every package compiles
+#   test-race    go test -race ./... — full suite (incl. the differential
+#                profile oracle and cross-worker determinism tests) under
+#                the race detector
+#   fuzz-smoke   fixed-budget runs of the fuzz targets: the SWF reader
+#                (trace.FuzzReadSWF) and the availability-profile
+#                differential oracle (profile.FuzzProfileOps). A short
+#                deterministic budget — regressions on the seeded corpus
+#                and shallow mutations fail here; deep exploration is for
+#                manual `make fuzz` sessions
+#   bench-smoke  cmd/bench -quick: the perf harness still runs end to
+#                end (tiny benchtime, no BENCH_*.json written), and the
+#                telemetry nil-recorder gate holds (see cmd/bench)
 set -eu
 cd "$(dirname "$0")/.."
 
-echo "==> go vet ./..."
-go vet ./...
+step=startup
+trap 'st=$?; if [ "$st" -ne 0 ]; then echo "FAIL: tier-1 step \"$step\" (exit $st)" >&2; fi' EXIT
 
-echo "==> go build ./..."
-go build ./...
+run() {
+	step=$1
+	shift
+	echo "==> $step: $*"
+	"$@"
+}
 
-echo "==> go test -race ./..."
-go test -race ./...
+run vet go vet ./...
+run vet-focus go vet -copylocks -loopclosure -atomic ./...
+run lint go run ./cmd/jobschedlint ./...
+run lint-budget ./scripts/lint-budget.sh
+run build go build ./...
+run test-race go test -race ./...
+run fuzz-smoke go test -run='^$' -fuzz='^FuzzReadSWF$' -fuzztime=500x ./internal/trace
+run fuzz-smoke go test -run='^$' -fuzz='^FuzzProfileOps$' -fuzztime=500x ./internal/profile
 
-echo "==> bench smoke (go run ./cmd/bench -quick)"
+step=bench-smoke
+echo "==> bench-smoke: go run ./cmd/bench -quick"
 go run ./cmd/bench -quick -out "" -out2 "" >/dev/null
 
 echo "OK: all tier-1 checks passed"

@@ -1,0 +1,58 @@
+#!/bin/sh
+# Suppression budget for jobschedlint: every //lint:ignore directive in
+# the tree must be ledgered (with a written justification) in
+# scripts/lint-budget.txt. This keeps the suppression count from creeping
+# up silently — adding a directive without editing the ledger fails the
+# tier-1 gate.
+#
+# Exit status: 0 when every suppression is ledgered, 1 otherwise.
+set -eu
+cd "$(dirname "$0")/.."
+
+ledger=scripts/lint-budget.txt
+
+# Collect live suppressions as "analyzer file reason" lines. jobschedlint
+# exits non-zero on active findings; those are the lint step's concern,
+# the budget only audits suppressions.
+live=$(go run ./cmd/jobschedlint -suppressions ./... || true)
+
+status=0
+
+# Ledger lines must carry a justification (>= 3 fields).
+bad_entries=$(awk '!/^#/ && NF > 0 && NF < 3' "$ledger")
+if [ -n "$bad_entries" ]; then
+	printf 'lint-budget: ledger entry without justification: %s\n' "$bad_entries" >&2
+	status=1
+fi
+
+# Every live suppression must match a ledger entry by (analyzer, file).
+unledgered=$(printf '%s\n' "$live" | while IFS= read -r line; do
+	[ -n "$line" ] || continue
+	analyzer=${line%% *}
+	rest=${line#* }
+	file=${rest%% *}
+	if ! awk -v a="$analyzer" -v f="$file" \
+		'!/^#/ && $1 == a && $2 == f { found = 1 } END { exit !found }' "$ledger"; then
+		printf '%s %s\n' "$analyzer" "$file"
+	fi
+done)
+if [ -n "$unledgered" ]; then
+	printf 'lint-budget: unledgered suppression: %s\n' "$unledgered" >&2
+	echo "lint-budget: add a justified entry to $ledger or remove the directive" >&2
+	status=1
+fi
+
+# Stale ledger entries (no matching live suppression) are reported so
+# the ledger shrinks when directives are removed, but do not fail.
+awk '!/^#/ && NF >= 3 { print $1, $2 }' "$ledger" | while read -r analyzer file; do
+	if ! printf '%s\n' "$live" | awk -v a="$analyzer" -v f="$file" \
+		'$1 == a && $2 == f { found = 1 } END { exit !found }'; then
+		echo "lint-budget: note: stale ledger entry (no live suppression): $analyzer $file" >&2
+	fi
+done
+
+if [ "$status" -eq 0 ]; then
+	n=$(printf '%s\n' "$live" | grep -c . || true)
+	echo "lint-budget: $n suppression(s), all ledgered"
+fi
+exit "$status"
