@@ -22,11 +22,13 @@ lint:
 	$(GO) run ./cmd/jobschedlint ./...
 	./scripts/lint-budget.sh
 
-# Fixed-budget fuzz runs of the SWF reader and the availability-profile
-# differential oracle — the same budgets the tier-1 gate uses.
+# Fixed-budget fuzz runs of the SWF reader, the availability-profile
+# differential oracle and the fault-schedule invariants — the same
+# budgets the tier-1 gate uses.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzReadSWF$$' -fuzztime=500x ./internal/trace
 	$(GO) test -run='^$$' -fuzz='^FuzzProfileOps$$' -fuzztime=500x ./internal/profile
+	$(GO) test -run='^$$' -fuzz='^FuzzFailureSchedule$$' -fuzztime=500x ./internal/faults
 
 race:
 	$(GO) test -race ./...

@@ -41,11 +41,19 @@ func main() {
 		gantt     = flag.Bool("gantt", false, "render an ASCII Gantt chart (-simulate)")
 		csvDir    = flag.String("csv", "", "write utilization/backlog series CSVs here")
 		explain   = flag.Int64("explain", -1, "explain this job ID from a decision trace (-trace)")
-		traceFile = flag.String("trace", "", "JSONL decision trace for -explain (\"-\" = stdin)")
+		lost      = flag.Bool("lost", false, "summarize failure aborts and budget-exhausted jobs from a decision trace (-trace)")
+		traceFile = flag.String("trace", "", "JSONL decision trace for -explain/-lost (\"-\" = stdin)")
 	)
 	flag.Parse()
 	if *explain >= 0 {
 		if err := runExplain(*explain, *traceFile); err != nil {
+			fmt.Fprintln(os.Stderr, "analyze:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *lost {
+		if err := runLost(*traceFile); err != nil {
 			fmt.Fprintln(os.Stderr, "analyze:", err)
 			os.Exit(1)
 		}
@@ -62,8 +70,18 @@ func main() {
 // waited — its blocking head, the shadow times computed against it, and
 // the jobs that overtook it.
 func runExplain(id int64, traceFile string) error {
+	events, err := readTrace(traceFile)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== job %d (trace: %d events) ==\n", id, len(events))
+	return analysis.Explain(os.Stdout, events, id)
+}
+
+// readTrace loads a JSONL decision trace ("-" = stdin).
+func readTrace(traceFile string) ([]telemetry.Event, error) {
 	if traceFile == "" {
-		return fmt.Errorf("-explain needs -trace FILE (write one with `simulate -trace`)")
+		return nil, fmt.Errorf("this mode needs -trace FILE (write one with `simulate -trace`)")
 	}
 	var r io.Reader
 	if traceFile == "-" {
@@ -71,17 +89,22 @@ func runExplain(id int64, traceFile string) error {
 	} else {
 		f, err := os.Open(traceFile)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		defer f.Close()
 		r = f
 	}
-	events, err := telemetry.ReadJSONL(r)
+	return telemetry.ReadJSONL(r)
+}
+
+// runLost is the failure-accounting mode: read a decision trace and
+// summarize aborts, resubmissions and budget-exhausted (lost) jobs.
+func runLost(traceFile string) error {
+	events, err := readTrace(traceFile)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("== job %d (trace: %d events) ==\n", id, len(events))
-	return analysis.Explain(os.Stdout, events, id)
+	return analysis.LostReport(os.Stdout, events)
 }
 
 func run(in, wl string, n, nodes int, seed int64, simulate bool, order, start string, gantt bool, csvDir string) error {

@@ -16,11 +16,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"jobsched/internal/cli"
 	"jobsched/internal/eval"
 	"jobsched/internal/job"
 	"jobsched/internal/sched"
@@ -29,6 +33,17 @@ import (
 	"jobsched/internal/trace"
 	"jobsched/internal/workload"
 )
+
+// robustness collects the hardening knobs of a grid run: crash-safe
+// journaling with resume, error containment, the per-cell watchdog, and
+// the failure-injection flags.
+type robustness struct {
+	journalPath string
+	resume      bool
+	keepGoing   bool
+	cellWall    time.Duration
+	fo          *cli.FaultOptions
+}
 
 func main() {
 	var (
@@ -39,18 +54,55 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload generation seed")
 		traceDir = flag.String("trace", "", "write one JSONL decision trace per grid cell to this directory (tables 3-6; see analyze -explain)")
 		counters = flag.Bool("counters", false, "print per-cell run counters after each grid (tables 3-6)")
+		rb       robustness
 	)
+	flag.StringVar(&rb.journalPath, "journal", "", "crash-safe cell journal (JSONL); completed cells survive interruption")
+	flag.BoolVar(&rb.resume, "resume", false, "restore completed cells from -journal instead of re-simulating them")
+	flag.BoolVar(&rb.keepGoing, "keepgoing", false, "record a failing cell's error and continue instead of aborting the run")
+	flag.DurationVar(&rb.cellWall, "cellwall", 0, "per-cell wall-clock budget (e.g. 5m); overruns become cell errors (0 = off)")
+	rb.fo = cli.AddFaultFlags(flag.CommandLine)
 	flag.Parse()
-	if err := run(*full, *table, *csvDir, *nodes, *seed, *traceDir, *counters); err != nil {
+	if rb.resume && rb.journalPath == "" {
+		fmt.Fprintln(os.Stderr, "evaluate: -resume needs -journal")
+		os.Exit(1)
+	}
+	if err := run(*full, *table, *csvDir, *nodes, *seed, *traceDir, *counters, rb); err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(full bool, table int, csvDir string, nodes int, seed int64, traceDir string, counters bool) error {
+func run(full bool, table int, csvDir string, nodes int, seed int64, traceDir string, counters bool, rb robustness) error {
 	scale := 8
 	if full {
 		scale = 1
+	}
+
+	// ^C aborts the run cleanly between event batches: the engine polls
+	// the flag, returns sim.ErrInterrupted, and journaled cells survive
+	// for a -resume. A second ^C falls through to the default handler.
+	var interrupted atomic.Bool
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	defer signal.Stop(sigc)
+	go func() {
+		<-sigc
+		interrupted.Store(true)
+		signal.Stop(sigc)
+	}()
+
+	var journal *eval.Journal
+	if rb.journalPath != "" {
+		var err error
+		journal, err = eval.OpenJournal(rb.journalPath, rb.resume)
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+		if rb.resume && journal.Completed() > 0 {
+			fmt.Fprintf(os.Stderr, "evaluate: resuming, %d cells restored from %s\n",
+				journal.Completed(), rb.journalPath)
+		}
 	}
 
 	// Workloads (Section 6).
@@ -84,10 +136,35 @@ func run(full bool, table int, csvDir string, nodes int, seed int64, traceDir st
 
 	// Paper-scale saturated runs use the horizon-accelerated conservative
 	// walk; scaled runs keep the exact semantics.
-	gridOpts := eval.Options{Parallel: true, Validate: true, FastConservative: full}
+	gridOpts := eval.Options{
+		Parallel:         true,
+		Validate:         true,
+		FastConservative: full,
+		KeepGoing:        rb.keepGoing,
+		CellTimeout:      rb.cellWall,
+		Interrupt:        interrupted.Load,
+		Journal:          journal,
+		Resubmit:         rb.fo.Resubmit(),
+	}
 	emit := func(name string, g *eval.Grid) error {
 		if err := g.Render(os.Stdout); err != nil {
 			return err
+		}
+		for _, c := range g.Cells {
+			if c.Err != "" {
+				fmt.Fprintf(os.Stderr, "evaluate: cell %s/%s failed: %s\n",
+					c.Order, c.Start, firstLine(c.Err))
+			}
+		}
+		if rb.fo.Enabled() {
+			var aborted, resub, lost int
+			for _, c := range g.Cells {
+				aborted += c.Aborted
+				resub += c.Resubmits
+				lost += c.Lost
+			}
+			fmt.Printf("  (failures: %d aborted attempts, %d resubmissions, %d lost jobs across the grid)\n",
+				aborted, resub, lost)
 		}
 		fmt.Println()
 		if csvDir != "" {
@@ -106,12 +183,24 @@ func run(full bool, table int, csvDir string, nodes int, seed int64, traceDir st
 	}
 
 	runBoth := func(title, name string, jobs []*workloadJob) error {
+		opts := gridOpts
+		if rb.fo.Enabled() {
+			// One fault plan per workload, spanning its submissions; the
+			// maintenance windows are announced to the schedulers.
+			_, last := job.Span(jobs)
+			plan, err := rb.fo.Plan(nodes, last)
+			if err != nil {
+				return err
+			}
+			opts.Failures = plan.Failures
+			opts.Announced = plan.Announced
+		}
 		for _, c := range []eval.Case{eval.Unweighted, eval.Weighted} {
 			gname := fmt.Sprintf("%s_%s", name, c)
-			opts := gridOpts
+			copts := opts
 			hooks, finish := cellTelemetry(gname, traceDir, counters)
-			opts.Hooks = hooks
-			g, err := eval.Run(title, m, jobs, c, opts)
+			copts.Hooks = hooks
+			g, err := eval.Run(title, m, jobs, c, copts)
 			if err != nil {
 				return err
 			}
@@ -159,7 +248,7 @@ func run(full bool, table int, csvDir string, nodes int, seed int64, traceDir st
 	}
 	if want(7) {
 		fmt.Println("Table 7. Scheduler computation time, CTC workload")
-		if err := computeTimeTable("CTC workload", m, ctc, csvDir, "table7"); err != nil {
+		if err := computeTimeTable("CTC workload", m, ctc, csvDir, "table7", interrupted.Load); err != nil {
 			return err
 		}
 	}
@@ -169,7 +258,7 @@ func run(full bool, table int, csvDir string, nodes int, seed int64, traceDir st
 		if err != nil {
 			return err
 		}
-		if err := computeTimeTable("Probability-distributed workload", m, prob, csvDir, "table8"); err != nil {
+		if err := computeTimeTable("Probability-distributed workload", m, prob, csvDir, "table8", interrupted.Load); err != nil {
 			return err
 		}
 	}
@@ -266,6 +355,15 @@ func cellTelemetry(name, traceDir string, counters bool) (func(o sched.OrderName
 	return hooks, finish
 }
 
+// firstLine trims a multi-line cell error (panics carry their stack) to
+// its headline for the per-cell summary.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
 // sanitize maps a policy name onto a filesystem-safe token
 // ("Garey&Graham" -> "Garey-Graham").
 func sanitize(s string) string {
@@ -278,10 +376,11 @@ func sanitize(s string) string {
 	}, s)
 }
 
-func computeTimeTable(title string, m sim.Machine, jobs []*workloadJob, csvDir, name string) error {
-	// Computation time must be measured serially so cells are comparable.
+func computeTimeTable(title string, m sim.Machine, jobs []*workloadJob, csvDir, name string, interrupt func() bool) error {
+	// Computation time must be measured serially so cells are comparable;
+	// timings are not deterministic, so these tables are never journaled.
 	for _, c := range []eval.Case{eval.Unweighted, eval.Weighted} {
-		g, err := eval.Run(title, m, jobs, c, eval.Options{MeasureCPU: true})
+		g, err := eval.Run(title, m, jobs, c, eval.Options{MeasureCPU: true, Interrupt: interrupt})
 		if err != nil {
 			return err
 		}

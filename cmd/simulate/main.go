@@ -8,6 +8,7 @@
 //	simulate -order SMART-FFIA -start Backfilling -weighted -workload random
 //	simulate -workload swf -in trace.swf
 //	simulate -trace run.jsonl -counters   # decision trace + run counters
+//	simulate -mtbf 86400 -mttr 3600 -retries 3 -backoff 60   # failure sweep
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 
 	"jobsched/internal/cli"
 	"jobsched/internal/core"
+	"jobsched/internal/faults"
 	"jobsched/internal/job"
 	"jobsched/internal/sched"
 	"jobsched/internal/sim"
@@ -37,15 +39,16 @@ func main() {
 		exact    = flag.Bool("exact", false, "replace estimates by exact runtimes (Section 6.1)")
 		traceOut = flag.String("trace", "", "write a JSONL decision trace to this file (see analyze -explain)")
 		counters = flag.Bool("counters", false, "print run counters (passes, backfill, profile ops)")
+		fo       = cli.AddFaultFlags(flag.CommandLine)
 	)
 	flag.Parse()
-	if err := run(*order, *start, *weighted, *wl, *in, *jobs, *nodes, *seed, *exact, *traceOut, *counters); err != nil {
+	if err := run(*order, *start, *weighted, *wl, *in, *jobs, *nodes, *seed, *exact, *traceOut, *counters, fo); err != nil {
 		fmt.Fprintln(os.Stderr, "simulate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(order, start string, weighted bool, wl, in string, n, nodes int, seed int64, exact bool, traceOut string, counters bool) error {
+func run(order, start string, weighted bool, wl, in string, n, nodes int, seed int64, exact bool, traceOut string, counters bool, fo *cli.FaultOptions) error {
 	js, err := loadWorkload(wl, in, n, nodes, seed)
 	if err != nil {
 		return err
@@ -76,11 +79,30 @@ func run(order, start string, weighted bool, wl, in string, n, nodes int, seed i
 		hooks.Recorder = telemetry.Multi(hooks.Recorder, jl)
 	}
 
-	s, err := core.NewSchedulerWith(sched.OrderName(order), sched.StartName(start), nodes, weighted, hooks)
+	// Failure injection: compile the fault flags into an outage schedule
+	// over the workload's span; maintenance windows are announced to the
+	// scheduler so it reserves around them.
+	var plan faults.Plan
+	if fo.Enabled() {
+		_, last := job.Span(js)
+		plan, err = fo.Plan(nodes, last)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "simulate: injecting %d failures (%d announced)\n",
+			len(plan.Failures), len(plan.Announced))
+	}
+
+	s, err := core.NewFailureAwareScheduler(sched.OrderName(order), sched.StartName(start),
+		nodes, weighted, plan.Announced, hooks)
 	if err != nil {
 		return err
 	}
-	res, err := core.SimulateWith(core.Machine{Nodes: nodes}, js, s, sim.Options{Recorder: hooks.Recorder})
+	res, err := core.SimulateWith(core.Machine{Nodes: nodes}, js, s, sim.Options{
+		Recorder: hooks.Recorder,
+		Failures: plan.Failures,
+		Resubmit: fo.Resubmit(),
+	})
 	if err != nil {
 		return err
 	}
@@ -102,6 +124,11 @@ func run(order, start string, weighted bool, wl, in string, n, nodes int, seed i
 	fmt.Printf("makespan:                        %d s\n", res.Makespan)
 	fmt.Printf("utilization:                     %.2f%%\n", res.Utilization*100)
 	fmt.Printf("max queue length:                %d\n", res.MaxQueue)
+	if fo.Enabled() {
+		fmt.Printf("aborted attempts:                %d\n", res.Aborted)
+		fmt.Printf("resubmissions:                   %d\n", res.Resubmits)
+		fmt.Printf("lost jobs:                       %d\n", res.Lost)
+	}
 	if cnt != nil {
 		fmt.Println("\n== run counters ==")
 		return cnt.Report(os.Stdout)

@@ -41,7 +41,11 @@ func Explain(w io.Writer, events []telemetry.Event, id int64) error {
 			waitFrom, waiting, passes = ev.At, true, 0
 			overtook = overtook[:0]
 			if ev.Resubmit {
-				fmt.Fprintf(w, "t=%-10d resubmitted after the abort (%d nodes)\n", ev.At, ev.Nodes)
+				if ev.Attempt > 0 {
+					fmt.Fprintf(w, "t=%-10d resubmitted after abort %d (%d nodes)\n", ev.At, ev.Attempt, ev.Nodes)
+				} else {
+					fmt.Fprintf(w, "t=%-10d resubmitted after the abort (%d nodes)\n", ev.At, ev.Nodes)
+				}
 			} else {
 				fmt.Fprintf(w, "t=%-10d job %d submitted (%d nodes)\n", ev.At, id, ev.Nodes)
 			}
@@ -55,7 +59,14 @@ func Explain(w io.Writer, events []telemetry.Event, id int64) error {
 			}
 			waiting = false
 		case ev.Job == id && ev.Type == telemetry.EventAbort:
-			fmt.Fprintf(w, "t=%-10d attempt aborted by a hardware failure\n", ev.At)
+			if ev.Attempt > 0 {
+				fmt.Fprintf(w, "t=%-10d attempt %d aborted by a hardware failure\n", ev.At, ev.Attempt)
+			} else {
+				fmt.Fprintf(w, "t=%-10d attempt aborted by a hardware failure\n", ev.At)
+			}
+		case ev.Job == id && ev.Type == telemetry.EventLost:
+			waiting = false
+			fmt.Fprintf(w, "t=%-10d lost: resubmit budget exhausted after %d aborted attempts\n", ev.At, ev.Attempt)
 		case ev.Job == id && ev.Type == telemetry.EventFinish:
 			how := "finished"
 			if ev.Killed {

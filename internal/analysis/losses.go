@@ -1,0 +1,40 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+
+	"jobsched/internal/telemetry"
+)
+
+// LostReport summarizes a trace's failure story: the totals of aborted
+// attempts and resubmissions, and one line per job that was dropped
+// after exhausting its resubmit budget (telemetry.EventLost). A trace
+// from a fault-free run reports zeros and an empty list.
+func LostReport(w io.Writer, events []telemetry.Event) error {
+	var aborts, resubmits int
+	var lost []telemetry.Event
+	width := map[int64]int{}
+	for _, ev := range events {
+		switch {
+		case ev.Type == telemetry.EventArrival:
+			if ev.Resubmit {
+				resubmits++
+			} else if ev.Nodes > 0 {
+				width[ev.Job] = ev.Nodes
+			}
+		case ev.Type == telemetry.EventAbort:
+			aborts++
+		case ev.Type == telemetry.EventLost:
+			lost = append(lost, ev)
+		}
+	}
+	fmt.Fprintf(w, "aborted attempts: %d\n", aborts)
+	fmt.Fprintf(w, "resubmissions:    %d\n", resubmits)
+	fmt.Fprintf(w, "lost jobs:        %d\n", len(lost))
+	for _, ev := range lost {
+		fmt.Fprintf(w, "  t=%-10d job %-6d (%d nodes) dropped after %d aborted attempts\n",
+			ev.At, ev.Job, width[ev.Job], ev.Attempt)
+	}
+	return nil
+}

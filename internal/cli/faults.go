@@ -1,0 +1,121 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"jobsched/internal/faults"
+	"jobsched/internal/sim"
+)
+
+// FaultOptions collects the failure-injection flags shared by the
+// simulate and evaluate commands. The zero value means "no faults".
+type FaultOptions struct {
+	// MTBF/MTTR are the stochastic node-failure process parameters in
+	// seconds (MTBF 0 disables the stochastic process).
+	MTBF, MTTR float64
+	// FailShape/RepairShape are the Weibull shape parameters (0 or 1 =
+	// exponential).
+	FailShape, RepairShape float64
+	// FailNodes is the number of nodes each stochastic failure takes.
+	FailNodes int
+	// MaxDownFrac caps the concurrently-down fraction of the machine.
+	MaxDownFrac float64
+	// Seed drives the failure process (independent of the workload seed).
+	Seed int64
+	// Maintenance holds "at:dur:nodes[:every[:count]]" specs, comma
+	// separated. Maintenance windows are announced to the schedulers.
+	Maintenance string
+	// Retries bounds resubmissions per job (0 = unlimited).
+	Retries int
+	// Backoff/BackoffCap configure exponential resubmit backoff seconds
+	// (Backoff 0 = immediate resubmit, the historical behavior).
+	Backoff, BackoffCap int64
+}
+
+// AddFaultFlags registers the failure-injection flags on fs and returns
+// the bound options.
+func AddFaultFlags(fs *flag.FlagSet) *FaultOptions {
+	o := &FaultOptions{}
+	fs.Float64Var(&o.MTBF, "mtbf", 0, "mean time between node failures in seconds (0 = no stochastic failures)")
+	fs.Float64Var(&o.MTTR, "mttr", 0, "mean time to repair in seconds (required with -mtbf)")
+	fs.Float64Var(&o.FailShape, "failshape", 0, "Weibull shape of the failure process (0 or 1 = exponential)")
+	fs.Float64Var(&o.RepairShape, "repairshape", 0, "Weibull shape of the repair process (0 or 1 = exponential)")
+	fs.IntVar(&o.FailNodes, "failnodes", 1, "nodes taken down by each stochastic failure")
+	fs.Float64Var(&o.MaxDownFrac, "maxdownfrac", 0, "cap on the concurrently-down machine fraction (0 = default 0.5)")
+	fs.Int64Var(&o.Seed, "failseed", 1, "failure-process seed (independent of the workload seed)")
+	fs.StringVar(&o.Maintenance, "maint", "", "announced maintenance windows, comma-separated at:dur:nodes[:every[:count]]")
+	fs.IntVar(&o.Retries, "retries", 0, "max resubmits per failure-aborted job (0 = unlimited)")
+	fs.Int64Var(&o.Backoff, "backoff", 0, "base resubmit backoff in seconds (0 = immediate resubmit)")
+	fs.Int64Var(&o.BackoffCap, "backoffcap", 0, "resubmit backoff ceiling in seconds (0 = uncapped)")
+	return o
+}
+
+// Enabled reports whether any fault injection was requested.
+func (o *FaultOptions) Enabled() bool {
+	return o.MTBF > 0 || o.Maintenance != ""
+}
+
+// Resubmit returns the configured resubmit policy.
+func (o *FaultOptions) Resubmit() sim.ResubmitPolicy {
+	return sim.ResubmitPolicy{
+		MaxResubmits: o.Retries,
+		BackoffBase:  o.Backoff,
+		BackoffCap:   o.BackoffCap,
+	}
+}
+
+// Plan compiles the options into a validated failure schedule over
+// [0, horizon) for a machine of the given size.
+func (o *FaultOptions) Plan(machineNodes int, horizon int64) (faults.Plan, error) {
+	maint, err := ParseMaintenance(o.Maintenance)
+	if err != nil {
+		return faults.Plan{}, err
+	}
+	return faults.Generate(faults.Config{
+		MachineNodes:    machineNodes,
+		Horizon:         horizon,
+		Seed:            o.Seed,
+		MTBF:            o.MTBF,
+		MTTR:            o.MTTR,
+		FailShape:       o.FailShape,
+		RepairShape:     o.RepairShape,
+		NodesPerFailure: o.FailNodes,
+		MaxDownFraction: o.MaxDownFrac,
+		Maintenance:     maint,
+	})
+}
+
+// ParseMaintenance decodes comma-separated "at:dur:nodes[:every[:count]]"
+// window specs ("" parses to nil).
+func ParseMaintenance(spec string) ([]faults.Window, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []faults.Window
+	for _, entry := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(entry), ":")
+		if len(fields) < 3 || len(fields) > 5 {
+			return nil, fmt.Errorf("cli: maintenance window %q: want at:dur:nodes[:every[:count]]", entry)
+		}
+		nums := make([]int64, len(fields))
+		for i, f := range fields {
+			n, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("cli: maintenance window %q: %w", entry, err)
+			}
+			nums[i] = n
+		}
+		w := faults.Window{At: nums[0], Duration: nums[1], Nodes: int(nums[2])}
+		if len(nums) >= 4 {
+			w.Every = nums[3]
+		}
+		if len(nums) == 5 {
+			w.Count = int(nums[4])
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}

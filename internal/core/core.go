@@ -35,6 +35,13 @@ type Result struct {
 	Makespan            int64
 	Utilization         float64
 	MaxQueue            int
+	// Aborted/Resubmits/Lost are the failure-injection counters (all
+	// zero on fault-free runs): attempts cut short by outages, retries
+	// actually delivered, and jobs dropped after exhausting their
+	// resubmit budget.
+	Aborted   int
+	Resubmits int
+	Lost      int
 }
 
 // NewScheduler builds one algorithm from the paper's grid. Order is one
@@ -48,11 +55,25 @@ func NewScheduler(order sched.OrderName, start sched.StartName, machineNodes int
 // NewSchedulerWith builds a grid algorithm with telemetry hooks attached
 // to its start policy (the zero Hooks disables telemetry).
 func NewSchedulerWith(order sched.OrderName, start sched.StartName, machineNodes int, weighted bool, hooks telemetry.Hooks) (sim.Scheduler, error) {
+	return NewFailureAwareScheduler(order, start, machineNodes, weighted, nil, hooks)
+}
+
+// NewFailureAwareScheduler builds a grid algorithm that is told about
+// announced maintenance windows in advance: the backfilling start
+// policies reserve around the drains instead of starting jobs the drain
+// would abort (see sched.Config.Announced). A nil announced list is
+// exactly NewSchedulerWith.
+func NewFailureAwareScheduler(order sched.OrderName, start sched.StartName, machineNodes int, weighted bool, announced []sim.Failure, hooks telemetry.Hooks) (sim.Scheduler, error) {
 	w := job.UnitWeight
 	if weighted {
 		w = job.AreaWeight
 	}
-	return sched.New(order, start, sched.Config{MachineNodes: machineNodes, Weight: w, Hooks: hooks})
+	return sched.New(order, start, sched.Config{
+		MachineNodes: machineNodes,
+		Weight:       w,
+		Hooks:        hooks,
+		Announced:    announced,
+	})
 }
 
 // Simulate runs one scheduler over a workload and summarizes the outcome.
@@ -77,6 +98,9 @@ func SimulateWith(m Machine, jobs []*Job, s sim.Scheduler, opt sim.Options) (*Re
 		Makespan:            res.Schedule.Makespan(),
 		Utilization:         objective.Utilization{}.Eval(res.Schedule),
 		MaxQueue:            res.MaxQueue,
+		Aborted:             res.AbortedAttempts,
+		Resubmits:           res.Resubmits,
+		Lost:                res.LostJobs,
 	}, nil
 }
 

@@ -7,9 +7,12 @@
 package eval
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"jobsched/internal/bounds"
@@ -71,6 +74,15 @@ type Cell struct {
 	// Makespan and Utilization are auxiliary diagnostics.
 	Makespan    int64
 	Utilization float64
+	// Aborted/Resubmits/Lost are the failure-injection counters of the
+	// cell's run (all zero on fault-free grids).
+	Aborted   int
+	Resubmits int
+	Lost      int
+	// Err records why the cell produced no result (panic, wall-clock
+	// budget, simulation error) when Options.KeepGoing let the rest of
+	// the grid proceed. Empty on success.
+	Err string
 }
 
 // Grid holds the full result of one table's simulations.
@@ -119,6 +131,32 @@ type Options struct {
 	// simulation goroutine, so a Parallel run must hand out distinct
 	// recorders per cell (or force serial execution).
 	Hooks func(o sched.OrderName, s sched.StartName) telemetry.Hooks
+	// Failures injects the same outage schedule into every cell's
+	// simulation (see sim.Options.Failures); Announced is the subset the
+	// schedulers are told about in advance (see sched.Config.Announced).
+	Failures  []sim.Failure
+	Announced []sim.Failure
+	// Resubmit governs retries of failure-aborted jobs in every cell.
+	Resubmit sim.ResubmitPolicy
+	// KeepGoing records a failing cell's error in Cell.Err and continues
+	// with the rest of the grid instead of aborting the whole run. Cell
+	// panics are recovered and treated the same way. A user interrupt
+	// (Interrupt below) always aborts regardless.
+	KeepGoing bool
+	// CellTimeout bounds each cell's wall-clock time; an overrunning
+	// simulation is interrupted and reported as a cell error (subject to
+	// KeepGoing). Zero disables the watchdog.
+	CellTimeout time.Duration
+	// Interrupt, when non-nil, is polled by every cell's simulation;
+	// reporting true aborts the grid with sim.ErrInterrupted. Wire it to
+	// signal handling for clean ^C shutdown mid-grid.
+	Interrupt func() bool
+	// Journal, when non-nil, makes the run crash-safe: every completed
+	// cell is appended to the journal (with an fsync), and cells already
+	// present are restored without re-simulating. Combined with the same
+	// workload and options, a resumed run renders byte-identically to an
+	// uninterrupted one.
+	Journal *Journal
 }
 
 // gridCells enumerates the (order, start) pairs of the paper's tables:
@@ -166,11 +204,31 @@ func Run(title string, m sim.Machine, jobs []*job.Job, c Case, opt Options) (*Gr
 		Weight:           c.WeightFunc(),
 		MaxBackfillDepth: opt.MaxBackfillDepth,
 		FastConservative: opt.FastConservative,
+		Announced:        opt.Announced,
 	}
 
-	runCell := func(i int) error {
-		o := cells[i][0].(sched.OrderName)
-		s := cells[i][1].(sched.StartName)
+	// simulateCell runs one cell to completion. Panics inside the
+	// scheduler or engine are recovered into a cell error (with the
+	// stack, so the report stays actionable); a per-cell wall-clock
+	// watchdog interrupts runaway simulations. Timeouts come back as a
+	// plain error; a user interrupt keeps its sim.ErrInterrupted
+	// identity so the caller can abort the whole grid.
+	simulateCell := func(o sched.OrderName, s sched.StartName) (cell Cell, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("eval: %s/%s: panic: %v\n%s", o, s, r, debug.Stack())
+			}
+		}()
+		interrupt := opt.Interrupt
+		var timedOut atomic.Bool
+		if opt.CellTimeout > 0 {
+			timer := time.AfterFunc(opt.CellTimeout, func() { timedOut.Store(true) })
+			defer timer.Stop()
+			user := interrupt
+			interrupt = func() bool {
+				return timedOut.Load() || (user != nil && user())
+			}
+		}
 		cellCfg := cfg
 		var hooks telemetry.Hooks
 		if opt.Hooks != nil {
@@ -179,17 +237,23 @@ func Run(title string, m sim.Machine, jobs []*job.Job, c Case, opt Options) (*Gr
 		}
 		alg, err := sched.New(o, s, cellCfg)
 		if err != nil {
-			return err
+			return Cell{}, err
 		}
 		res, err := sim.Run(m, job.CloneAll(jobs), alg, sim.Options{
 			Validate:   opt.Validate,
 			MeasureCPU: opt.MeasureCPU,
 			Recorder:   hooks.Recorder,
+			Failures:   opt.Failures,
+			Resubmit:   opt.Resubmit,
+			Interrupt:  interrupt,
 		})
 		if err != nil {
-			return fmt.Errorf("eval: %s/%s: %w", o, s, err)
+			if errors.Is(err, sim.ErrInterrupted) && timedOut.Load() {
+				return Cell{}, fmt.Errorf("eval: %s/%s: cell exceeded the %v wall-clock budget", o, s, opt.CellTimeout)
+			}
+			return Cell{}, fmt.Errorf("eval: %s/%s: %w", o, s, err)
 		}
-		g.Cells[i] = Cell{
+		return Cell{
 			Order:         o,
 			Start:         s,
 			Value:         metric.Eval(res.Schedule),
@@ -197,6 +261,39 @@ func Run(title string, m sim.Machine, jobs []*job.Job, c Case, opt Options) (*Gr
 			MaxQueue:      res.MaxQueue,
 			Makespan:      res.Schedule.Makespan(),
 			Utilization:   objective.Utilization{}.Eval(res.Schedule),
+			Aborted:       res.AbortedAttempts,
+			Resubmits:     res.Resubmits,
+			Lost:          res.LostJobs,
+		}, nil
+	}
+
+	runCell := func(i int) error {
+		o := cells[i][0].(sched.OrderName)
+		s := cells[i][1].(sched.StartName)
+		if opt.Journal != nil {
+			if cell, ok := opt.Journal.Lookup(title, c, o, s); ok {
+				g.Cells[i] = cell
+				return nil
+			}
+		}
+		cell, err := simulateCell(o, s)
+		if err != nil {
+			if errors.Is(err, sim.ErrInterrupted) {
+				return err // user abort: never journaled, never swallowed
+			}
+			if !opt.KeepGoing {
+				return err
+			}
+			g.Cells[i] = Cell{Order: o, Start: s, Err: err.Error()}
+			return nil
+		}
+		g.Cells[i] = cell
+		if opt.Journal != nil {
+			// Only successful cells are journaled: errored cells re-run
+			// on resume, so a transient failure does not stick.
+			if jerr := opt.Journal.Record(title, c, cell); jerr != nil {
+				return fmt.Errorf("eval: %s/%s: journal: %w", o, s, jerr)
+			}
 		}
 		return nil
 	}

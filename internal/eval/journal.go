@@ -1,0 +1,150 @@
+package eval
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"jobsched/internal/sched"
+)
+
+// Journal is the crash-safe progress log of a grid run: one JSON line per
+// completed cell, appended and fsynced before the cell is considered
+// done. Reopening the journal with resume restores those cells without
+// re-simulating them — because every cell is a pure function of the
+// workload, seed, and options, the restored values are exactly what a
+// fresh run would compute, and the resumed tables render byte-identically
+// to an uninterrupted run.
+//
+// The format is deliberately line-oriented: a crash mid-write leaves at
+// most one torn final line, which resume detects (it fails to parse) and
+// drops — that cell simply re-runs. Dropping any malformed line is safe
+// for the same reason: the journal is a cache, never the only copy.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	done map[string]Cell
+}
+
+// journalRecord is the serialized form of one completed cell. The float
+// fields round-trip exactly through encoding/json (shortest
+// representation that parses back to the same bits), which is what makes
+// resumed tables byte-identical.
+type journalRecord struct {
+	Grid      string  `json:"grid"`
+	Case      string  `json:"case"`
+	Order     string  `json:"order"`
+	Start     string  `json:"start"`
+	Value     float64 `json:"value"`
+	SchedNS   int64   `json:"sched_ns,omitempty"`
+	MaxQueue  int     `json:"max_queue,omitempty"`
+	Makespan  int64   `json:"makespan,omitempty"`
+	Util      float64 `json:"util,omitempty"`
+	Aborted   int     `json:"aborted,omitempty"`
+	Resubmits int     `json:"resubmits,omitempty"`
+	Lost      int     `json:"lost,omitempty"`
+}
+
+func journalKey(grid string, c Case, o sched.OrderName, s sched.StartName) string {
+	// \x00 separators keep concatenated names unambiguous.
+	return grid + "\x00" + c.String() + "\x00" + string(o) + "\x00" + string(s)
+}
+
+// OpenJournal opens (creating if needed) the journal at path. With resume
+// true, existing completed cells are loaded and later served by Lookup;
+// with resume false any previous content is truncated and the run starts
+// from scratch.
+func OpenJournal(path string, resume bool) (*Journal, error) {
+	j := &Journal{done: make(map[string]Cell)}
+	if resume {
+		data, err := os.ReadFile(path)
+		if err != nil && !os.IsNotExist(err) {
+			return nil, fmt.Errorf("eval: journal: %w", err)
+		}
+		for _, line := range bytes.Split(data, []byte("\n")) {
+			if len(bytes.TrimSpace(line)) == 0 {
+				continue
+			}
+			var rec journalRecord
+			if json.Unmarshal(line, &rec) != nil {
+				continue // torn tail (or corruption): the cell re-runs
+			}
+			j.done[rec.Grid+"\x00"+rec.Case+"\x00"+rec.Order+"\x00"+rec.Start] = Cell{
+				Order:         sched.OrderName(rec.Order),
+				Start:         sched.StartName(rec.Start),
+				Value:         rec.Value,
+				SchedulerTime: time.Duration(rec.SchedNS),
+				MaxQueue:      rec.MaxQueue,
+				Makespan:      rec.Makespan,
+				Utilization:   rec.Util,
+				Aborted:       rec.Aborted,
+				Resubmits:     rec.Resubmits,
+				Lost:          rec.Lost,
+			}
+		}
+	}
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if !resume {
+		flags = os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("eval: journal: %w", err)
+	}
+	j.f = f
+	return j, nil
+}
+
+// Lookup returns the journaled result of a cell, if present.
+func (j *Journal) Lookup(grid string, c Case, o sched.OrderName, s sched.StartName) (Cell, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	cell, ok := j.done[journalKey(grid, c, o, s)]
+	return cell, ok
+}
+
+// Record appends a completed cell and fsyncs, so the entry survives a
+// crash immediately after. Safe for concurrent use by a Parallel grid.
+func (j *Journal) Record(grid string, c Case, cell Cell) error {
+	line, err := json.Marshal(journalRecord{
+		Grid:      grid,
+		Case:      c.String(),
+		Order:     string(cell.Order),
+		Start:     string(cell.Start),
+		Value:     cell.Value,
+		SchedNS:   int64(cell.SchedulerTime),
+		MaxQueue:  cell.MaxQueue,
+		Makespan:  cell.Makespan,
+		Util:      cell.Utilization,
+		Aborted:   cell.Aborted,
+		Resubmits: cell.Resubmits,
+		Lost:      cell.Lost,
+	})
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.done[journalKey(grid, c, cell.Order, cell.Start)] = cell
+	return nil
+}
+
+// Completed returns the number of cells currently in the journal.
+func (j *Journal) Completed() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Close releases the underlying file. Recorded entries are already
+// synced; Close never loses data.
+func (j *Journal) Close() error { return j.f.Close() }

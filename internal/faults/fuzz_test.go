@@ -1,0 +1,156 @@
+package faults
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"jobsched/internal/job"
+	"jobsched/internal/sim"
+)
+
+// fifo is a minimal correct FCFS scheduler for driving fuzz simulations.
+type fifo struct{ queue []*job.Job }
+
+func newFIFO() *fifo          { return &fifo{} }
+func (s *fifo) Name() string  { return "faults-fuzz-fifo" }
+func (s *fifo) QueueLen() int { return len(s.queue) }
+func (s *fifo) Submit(j *job.Job, now int64) {
+	s.queue = append(s.queue, j)
+}
+func (s *fifo) JobStarted(j *job.Job, now int64) {
+	for i, q := range s.queue {
+		if q == j {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			return
+		}
+	}
+}
+func (s *fifo) JobFinished(j *job.Job, now int64) {}
+func (s *fifo) Startable(now int64, free int, running []sim.Running) []*job.Job {
+	if len(s.queue) > 0 && s.queue[0].Nodes <= free {
+		return []*job.Job{s.queue[0]}
+	}
+	return nil
+}
+
+// FuzzFailureSchedule compiles fuzzed fault configurations and simulates
+// a fixed workload under them, checking the invariant chain end to end:
+// the generated plan validates, the run's schedule validates (capacity
+// never exceeded, via RunChecked), no instant has more nodes in use than
+// the machine minus the nodes down at that instant (no job runs on downed
+// hardware), generation is deterministic, and every job either completes
+// or is accounted lost.
+func FuzzFailureSchedule(f *testing.F) {
+	f.Add(int64(1), 500.0, 100.0, 1.0, 1.0, 1, int64(0), int64(0), 0, int64(0), 0)
+	f.Add(int64(2), 100.0, 400.0, 0.5, 2.0, 3, int64(1000), int64(200), 4, int64(0), 0)
+	f.Add(int64(3), 50.0, 50.0, 3.0, 0.7, 2, int64(0), int64(100), 2, int64(900), 1)
+	f.Add(int64(4), 0.0, 0.0, 0.0, 0.0, 0, int64(500), int64(50), 8, int64(600), 3)
+	f.Fuzz(func(t *testing.T, seed int64, mtbf, mttr, fshape, rshape float64,
+		nodesPer int, maintAt, maintDur int64, maintNodes int, maintEvery int64, retries int) {
+
+		const machineNodes = 8
+		const horizon = 5_000
+
+		// Clamp rates so a hostile input cannot explode the plan size or
+		// the simulation length; the generator's own validation handles
+		// truly invalid values via the unclamped maintenance fields.
+		cfg := Config{MachineNodes: machineNodes, Horizon: horizon, Seed: seed}
+		if mtbf != 0 {
+			cfg.MTBF = clampF(mtbf, 40, 2_000)
+			cfg.MTTR = clampF(mttr, 1, 500)
+			cfg.FailShape = clampF(fshape, 0.3, 5)
+			cfg.RepairShape = clampF(rshape, 0.3, 5)
+			cfg.NodesPerFailure = 1 + abs(nodesPer)%machineNodes
+		}
+		if maintDur != 0 {
+			cfg.Maintenance = []Window{{
+				At: maintAt, Duration: maintDur, Nodes: maintNodes,
+				Every: maintEvery, Count: abs(abs(retries) % 4),
+			}}
+		}
+
+		plan, err := Generate(cfg)
+		if err != nil {
+			return // invalid config rejected up front: nothing to simulate
+		}
+		again, err := Generate(cfg)
+		if err != nil || !reflect.DeepEqual(plan, again) {
+			t.Fatalf("generation not deterministic (err=%v)", err)
+		}
+		if _, err := sim.ValidateFailures(plan.Failures, machineNodes); err != nil {
+			t.Fatalf("generated plan does not validate: %v", err)
+		}
+
+		jobs := make([]*job.Job, 24)
+		for i := range jobs {
+			jobs[i] = &job.Job{
+				ID: job.ID(i), Submit: int64(i) * 150,
+				Runtime: int64(50 + 40*(i%5)), Estimate: int64(50 + 40*(i%5)),
+				Nodes: 1 + i%4,
+			}
+		}
+		res, err := sim.RunChecked(sim.Machine{Nodes: machineNodes}, jobs, newFIFO(), sim.Options{
+			Failures: plan.Failures,
+			Resubmit: sim.ResubmitPolicy{MaxResubmits: abs(retries) % 4},
+		})
+		if err != nil {
+			t.Fatalf("simulation failed under generated plan: %v", err)
+		}
+
+		// Accounting: every job completes or is lost, never both.
+		completed := map[job.ID]bool{}
+		for _, a := range res.Schedule.Allocs {
+			if !a.Aborted {
+				if completed[a.Job.ID] {
+					t.Fatalf("job %d completed twice", a.Job.ID)
+				}
+				completed[a.Job.ID] = true
+			}
+		}
+		if len(completed)+res.LostJobs != len(jobs) {
+			t.Fatalf("%d completed + %d lost != %d jobs", len(completed), res.LostJobs, len(jobs))
+		}
+
+		// No job runs on a down node: at every failure onset, nodes in use
+		// plus nodes down must fit the machine. (Usage and downtime change
+		// only at event instants, and the schedule's own capacity check is
+		// done by RunChecked; onsets are where downtime jumps.)
+		for _, fl := range plan.Failures {
+			used := 0
+			for _, a := range res.Schedule.Allocs {
+				if a.Start <= fl.At && fl.At < a.End {
+					used += a.Job.Nodes
+				}
+			}
+			if d := downAt(plan.Failures, fl.At); used+d > machineNodes {
+				t.Fatalf("t=%d: %d nodes in use with %d down on a %d-node machine",
+					fl.At, used, d, machineNodes)
+			}
+		}
+	})
+}
+
+func clampF(x, lo, hi float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return lo
+	}
+	x = math.Abs(x)
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func abs(x int) int {
+	if x < 0 {
+		if x == math.MinInt {
+			return math.MaxInt
+		}
+		return -x
+	}
+	return x
+}

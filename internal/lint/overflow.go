@@ -8,11 +8,15 @@ import (
 // checkedArithScope: the packages that do exact time/area accounting.
 // Times are int64 seconds and areas are nodes × seconds; a wraparound
 // there yields a plausible negative value that corrupts metrics instead
-// of crashing (the Window.overlap hang fixed in this PR is the canonical
-// example).
+// of crashing (the Window.overlap hang and the validateFailures
+// repair-edge overflow are the canonical examples). The engine and the
+// fault generators joined the scope when failure injection started doing
+// At + Duration arithmetic on adversarial schedules.
 var checkedArithScope = []string{
 	"jobsched/internal/job",
 	"jobsched/internal/objective",
+	"jobsched/internal/sim",
+	"jobsched/internal/faults",
 }
 
 // checkedArithHelpers are the saturating helpers in internal/job/arith.go
@@ -48,6 +52,9 @@ func CheckedArithAnalyzer() *Analyzer {
 				if !ok || !isInt64(tv.Type) || tv.Value != nil {
 					return true // not int64, or constant-folded
 				}
+				if isDuration(tv.Type) {
+					return true // CPU-timing bookkeeping, not simulation time
+				}
 				switch n.Op {
 				case token.MUL:
 					pass.Reportf(n.OpPos, "unchecked int64 multiplication %s: overflow wraps silently; use job.MulSat/job.MulArea or suppress with //lint:ignore checkedarith <reason>", exprSnippet(n))
@@ -64,6 +71,9 @@ func CheckedArithAnalyzer() *Analyzer {
 				tv, ok := pass.Pkg.Info.Types[n.Lhs[0]]
 				if !ok || !isInt64(tv.Type) {
 					return true
+				}
+				if isDuration(tv.Type) {
+					return true // CPU-timing bookkeeping, not simulation time
 				}
 				pass.Reportf(n.TokPos, "unchecked int64 accumulation into %s: overflow wraps silently; use job.AddSat or suppress with //lint:ignore checkedarith <reason>", exprSnippet(n.Lhs[0]))
 			}

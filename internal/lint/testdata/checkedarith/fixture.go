@@ -4,6 +4,8 @@
 // scope.
 package fixture
 
+import "time"
+
 type alloc struct {
 	start, end int64
 	nodes      int
@@ -53,4 +55,12 @@ func okSmallInts(a, b int32) int32 {
 // okSubtraction: spans (end - start) stay in range for ordered times.
 func okSubtraction(a alloc) int64 {
 	return a.end - a.start
+}
+
+// okDuration: time.Duration shares int64's core type but carries CPU-time
+// bookkeeping, not simulation times — overflowing it needs 292 years of
+// wall clock, so the saturating helpers would only add noise.
+func okDuration(d, e time.Duration) time.Duration {
+	d += e
+	return d + e
 }

@@ -22,6 +22,10 @@ func flaggedSleep() {
 	time.Sleep(time.Second) // want `time.Sleep reads the wall clock`
 }
 
+func flaggedAfterFunc() *time.Timer {
+	return time.AfterFunc(time.Second, func() {}) // want `time.AfterFunc reads the wall clock`
+}
+
 func flaggedGlobalRand() int {
 	return rand.Intn(10) // want `package-level rand.Intn draws from the process-global generator`
 }

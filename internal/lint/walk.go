@@ -109,6 +109,19 @@ func isInt64(t types.Type) bool {
 	return ok && b.Kind() == types.Int64
 }
 
+// isDuration reports whether t is exactly time.Duration. Duration's core
+// type is int64, so it passes isInt64 — but Duration values are CPU-time
+// bookkeeping (nanoseconds since a measurement started), not simulation
+// times, and overflow there needs 292 years of wall clock.
+func isDuration(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Duration"
+}
+
 // enclosingFuncName returns the name of the innermost enclosing function
 // declaration on the stack ("" inside a function literal or at file
 // scope).

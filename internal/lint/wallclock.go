@@ -22,7 +22,8 @@ var wallclockAllowedFiles = map[[2]string]bool{
 // wall clock (or block on it).
 var wallclockTimeFuncs = map[string]bool{
 	"Now": true, "Since": true, "Until": true, "Sleep": true,
-	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
 }
 
 // seededRandConstructors build RNGs from an explicit seed and are the

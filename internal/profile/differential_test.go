@@ -73,7 +73,7 @@ func runDifferential(t *testing.T, data []byte) {
 	}
 
 	for ops := 0; !r.done() && ops < 512; ops++ {
-		switch r.byte() % 6 {
+		switch r.byte() % 7 {
 		case 0: // EarliestFit
 			w := 1 + int(r.byte())%nodes
 			d := r.duration()
@@ -126,6 +126,13 @@ func runDifferential(t *testing.T, data []byte) {
 				check("FreeAt(monotone)", int64(opt.FreeAt(at)), int64(ref.FreeAt(at)))
 				at += int64(r.byte() % 8)
 			}
+		case 6: // ReserveClamped: drains may overcommit freely, the kernel
+			// saturates at zero (and must coalesce interior zero runs).
+			w := 1 + int(r.byte())%nodes
+			at := r.time()
+			end := at + 1 + int64(r.byte())
+			opt.ReserveClamped(w, at, end)
+			ref.ReserveClamped(w, at, end)
 		}
 		if opt.StepCount() != ref.StepCount() {
 			t.Fatalf("step counts diverged: optimized %d (%v), reference %d (%v)",

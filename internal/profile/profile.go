@@ -202,6 +202,44 @@ func (p *Profile) Reserve(nodes int, start, end int64) {
 	p.coalesceEdges(i, j)
 }
 
+// ReserveClamped subtracts up to `nodes` free nodes on [start, end),
+// clamping each step at zero instead of panicking on overcommit. It
+// models capacity that *disappears* rather than capacity a job occupies:
+// an announced maintenance drain takes its nodes regardless of what the
+// reservation profile thinks is free, and any shortfall manifests as
+// aborted jobs at run time, not as a scheduler invariant violation.
+func (p *Profile) ReserveClamped(nodes int, start, end int64) {
+	if nodes <= 0 || end <= start {
+		panic("profile: ReserveClamped requires positive nodes and start < end")
+	}
+	if p.stats != nil {
+		p.stats.ReserveClamped++
+	}
+	i := p.splitAt(start, 0)
+	j := p.splitAt(end, i)
+	for k := i; k < j; k++ {
+		p.steps[k].free -= nodes
+		if p.steps[k].free < 0 {
+			p.steps[k].free = 0
+		}
+	}
+	// Clamping can equalize *interior* neighbors (two steps both pinned to
+	// zero), so the edge-only coalesce of Reserve/Release is not enough:
+	// sweep the whole touched range backwards, boundaries included. The
+	// sweep reaches one past j because a drain entirely before the profile
+	// start makes splitAt(end) insert a boundary equal to its *successor*
+	// (the backward extension copies the old first step's value).
+	hi := j + 1
+	if hi > len(p.steps)-1 {
+		hi = len(p.steps) - 1
+	}
+	for k := hi; k >= 1 && k >= i; k-- {
+		if p.steps[k].free == p.steps[k-1].free {
+			p.steps = append(p.steps[:k], p.steps[k+1:]...)
+		}
+	}
+}
+
 // Release adds `nodes` free nodes on [start, end). Used when a running
 // job completes earlier than estimated: the remainder of its projected
 // allocation is handed back.

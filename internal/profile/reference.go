@@ -102,6 +102,24 @@ func (p *Reference) Reserve(nodes int, start, end int64) {
 	p.coalesce()
 }
 
+// ReserveClamped subtracts up to `nodes` free nodes on [start, end),
+// clamping each step at zero instead of panicking on overcommit (the
+// brute-force counterpart of Profile.ReserveClamped).
+func (p *Reference) ReserveClamped(nodes int, start, end int64) {
+	if nodes <= 0 || end <= start {
+		panic("profile: ReserveClamped requires positive nodes and start < end")
+	}
+	i := p.splitAt(start)
+	j := p.splitAt(end)
+	for k := i; k < j; k++ {
+		p.steps[k].free -= nodes
+		if p.steps[k].free < 0 {
+			p.steps[k].free = 0
+		}
+	}
+	p.coalesce()
+}
+
 // Release adds `nodes` free nodes on [start, end). Used when a running
 // job completes earlier than estimated: the remainder of its projected
 // allocation is handed back.

@@ -13,21 +13,30 @@ import "fmt"
 type Stats struct {
 	EarliestFit int64
 	Reserve     int64
-	Release     int64
-	FreeAt      int64
-	MinFree     int64
-	Resets      int64
+	// ReserveClamped counts drain reservations (announced maintenance
+	// carved out of the profile with saturation at zero).
+	ReserveClamped int64
+	Release        int64
+	FreeAt         int64
+	MinFree        int64
+	Resets         int64
 }
 
 // Total returns the summed operation count.
 func (s *Stats) Total() int64 {
-	return s.EarliestFit + s.Reserve + s.Release + s.FreeAt + s.MinFree + s.Resets
+	return s.EarliestFit + s.Reserve + s.ReserveClamped + s.Release + s.FreeAt + s.MinFree + s.Resets
 }
 
-// String renders the counters compactly for reports.
+// String renders the counters compactly for reports. The clamped-reserve
+// count only appears when drains were actually reserved, so reports from
+// fault-free runs render exactly as before.
 func (s *Stats) String() string {
-	return fmt.Sprintf("fit=%d reserve=%d release=%d freeAt=%d minFree=%d resets=%d",
+	out := fmt.Sprintf("fit=%d reserve=%d release=%d freeAt=%d minFree=%d resets=%d",
 		s.EarliestFit, s.Reserve, s.Release, s.FreeAt, s.MinFree, s.Resets)
+	if s.ReserveClamped > 0 {
+		out += fmt.Sprintf(" clamped=%d", s.ReserveClamped)
+	}
+	return out
 }
 
 // SetStats attaches (or, with nil, detaches) an operation counter to the

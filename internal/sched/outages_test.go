@@ -1,0 +1,99 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"jobsched/internal/job"
+	"jobsched/internal/sim"
+	"jobsched/internal/telemetry"
+)
+
+// TestAllFamiliesUnderOverlappingOutages drives every scheduler family
+// through a workload with *overlapping* outages (a second failure begins
+// while the first is still being repaired) and checks, via the decision
+// trace, the resubmit contract: every abort is followed by exactly one
+// resubmit arrival for that job (unlimited budget, no backoff), the
+// checked invariants hold, and nothing is lost.
+func TestAllFamiliesUnderOverlappingOutages(t *testing.T) {
+	r := rand.New(rand.NewSource(202))
+	const nodes = 16
+	jobs := randomJobs(r, 250, nodes)
+	_, last := job.Span(jobs)
+	failures := []sim.Failure{
+		{At: last / 8, Nodes: 8, Duration: last / 4},     // long partial outage…
+		{At: last / 6, Nodes: 4, Duration: last / 8},     // …overlapped by a second
+		{At: last / 5, Nodes: 2, Duration: last / 6},     // …and a third
+		{At: last / 2, Nodes: 12, Duration: last / 10},   // big later dip
+		{At: last/2 + 10, Nodes: 2, Duration: last / 10}, // overlapping the dip
+	}
+
+	for _, o := range GridOrders() {
+		for _, s := range GridStarts() {
+			var trace telemetry.Buffer
+			alg, err := New(o, s, Config{
+				MachineNodes: nodes,
+				Hooks:        telemetry.Hooks{Recorder: &trace},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.RunChecked(sim.Machine{Nodes: nodes}, job.CloneAll(jobs), alg,
+				sim.Options{
+					Validate: true,
+					Failures: failures,
+					Recorder: &trace,
+				})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", o, s, err)
+			}
+			if res.LostJobs != 0 {
+				t.Errorf("%s/%s: %d jobs lost with an unlimited budget", o, s, res.LostJobs)
+			}
+			if res.AbortedAttempts == 0 {
+				t.Fatalf("%s/%s: no aborts; outages are not exercising the engine", o, s)
+			}
+			if res.Resubmits != res.AbortedAttempts {
+				t.Errorf("%s/%s: %d aborts but %d resubmits", o, s, res.AbortedAttempts, res.Resubmits)
+			}
+
+			// Trace-level contract: per job, aborts == resubmit arrivals,
+			// and the running balance never goes negative (a resubmit
+			// never precedes its abort).
+			aborts := map[int64]int{}
+			resubs := map[int64]int{}
+			for _, ev := range trace.Events() {
+				switch {
+				case ev.Type == telemetry.EventAbort:
+					aborts[ev.Job]++
+				case ev.Type == telemetry.EventArrival && ev.Resubmit:
+					resubs[ev.Job]++
+					if resubs[ev.Job] > aborts[ev.Job] {
+						t.Fatalf("%s/%s: job %d resubmitted before (or more often than) aborted",
+							o, s, ev.Job)
+					}
+					if ev.Attempt != aborts[ev.Job] {
+						t.Errorf("%s/%s: job %d resubmit carries attempt %d, want %d",
+							o, s, ev.Job, ev.Attempt, aborts[ev.Job])
+					}
+				}
+			}
+			for id, n := range aborts {
+				if resubs[id] != n {
+					t.Errorf("%s/%s: job %d aborted %d times but resubmitted %d times",
+						o, s, id, n, resubs[id])
+				}
+			}
+
+			completed := 0
+			for _, a := range res.Schedule.Allocs {
+				if !a.Aborted {
+					completed++
+				}
+			}
+			if completed != len(jobs) {
+				t.Errorf("%s/%s: %d of %d jobs completed", o, s, completed, len(jobs))
+			}
+		}
+	}
+}

@@ -118,6 +118,17 @@ func (c *Composite) Instrument(h telemetry.Hooks) {
 	}
 }
 
+// Announce hands announced maintenance windows to the start policy (no-op
+// when the policy is not FailureAware — plain list scheduling and
+// Garey&Graham have no projection to adjust; the engine still enforces
+// the capacity loss either way). sched.New calls it with Config.Announced;
+// hand-composed schedulers may call it directly.
+func (c *Composite) Announce(windows []sim.Failure) {
+	if fa, ok := c.start.(FailureAware); ok {
+		fa.Announce(windows)
+	}
+}
+
 // WrapStarter returns a new Composite whose start policy is wrap(old
 // start policy) — used to layer cross-cutting admission rules (advance
 // reservations, policy windows) over any grid algorithm.
@@ -175,6 +186,12 @@ type Config struct {
 	// value disables telemetry at the cost of one branch per decision
 	// point.
 	Hooks telemetry.Hooks
+	// Announced lists maintenance windows known to the scheduler in
+	// advance (faults.Plan.Announced): failure-aware start policies
+	// (conservative and EASY backfilling) reserve around them instead of
+	// starting jobs the drain would abort. Empty keeps every policy's
+	// historical behavior bit-for-bit.
+	Announced []sim.Failure
 }
 
 func (c Config) withDefaults() Config {
@@ -202,6 +219,9 @@ func New(order OrderName, start StartName, cfg Config) (*Composite, error) {
 	if order == OrderGG {
 		c := Compose(NewFCFSOrder(string(OrderGG)), NewGareyGrahamStarter(), cfg.MachineNodes)
 		c.Instrument(cfg.Hooks)
+		if len(cfg.Announced) > 0 {
+			c.Announce(cfg.Announced)
+		}
 		return c, nil
 	}
 
@@ -236,6 +256,9 @@ func New(order OrderName, start StartName, cfg Config) (*Composite, error) {
 	}
 	c := Compose(ord, st, cfg.MachineNodes)
 	c.Instrument(cfg.Hooks)
+	if len(cfg.Announced) > 0 {
+		c.Announce(cfg.Announced)
+	}
 	return c, nil
 }
 

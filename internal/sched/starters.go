@@ -17,6 +17,54 @@ type Instrumented interface {
 	Instrument(h telemetry.Hooks)
 }
 
+// FailureAware is implemented by start policies that can plan around
+// announced capacity drains (maintenance windows): the windows become
+// capacity steps in the reservation profile, so the policy reserves
+// around them instead of starting jobs the drain would abort. Surprise
+// failures are, by definition, not announced — only scheduled
+// maintenance is legitimate scheduler knowledge.
+type FailureAware interface {
+	// Announce hands the policy the maintenance windows, as sim.Failure
+	// values (the same shape faults.Plan.Announced produces). The slice
+	// must not be mutated afterwards.
+	Announce(windows []sim.Failure)
+}
+
+// reserveDrains carves announced maintenance windows out of a reservation
+// profile via clamped reservation: a drain takes its nodes regardless of
+// how much the profile thinks is free (overlap with running jobs shows up
+// as aborts at run time, not as a profile invariant violation). Windows
+// are clipped to [now, horizon).
+func reserveDrains(p *profile.Profile, announced []sim.Failure, now, horizon int64) {
+	for _, f := range announced {
+		end := job.AddSat(f.At, f.Duration)
+		if end <= now || f.At >= horizon {
+			continue
+		}
+		start := f.At
+		if start < now {
+			start = now
+		}
+		if end > horizon {
+			end = horizon
+		}
+		if end > start {
+			p.ReserveClamped(f.Nodes, start, end)
+		}
+	}
+}
+
+// drainsPending reports whether any announced window still extends past
+// `now` (only those can influence scheduling decisions).
+func drainsPending(announced []sim.Failure, now int64) bool {
+	for _, f := range announced {
+		if job.AddSat(f.At, f.Duration) > now {
+			return true
+		}
+	}
+	return false
+}
+
 // decided stashes the classification of the most recent successful Pick
 // so the engine (through Composite's sim.DecisionExplainer) can merge it
 // into the job's start event. Like the starters themselves, it is owned
@@ -110,8 +158,18 @@ type EASYStarter struct {
 	// per scheduling decision; allocating a running-list copy each time
 	// is measurable under deep backlogs). Not safe for concurrent use.
 	ends []sim.Running
-	// rec receives backfill-attempt events (nil = tracing disabled).
-	rec telemetry.Recorder
+	// rec receives backfill-attempt events (nil = tracing disabled);
+	// stats counts the drain profile's kernel operations.
+	rec   telemetry.Recorder
+	stats *profile.Stats
+	// announced holds the maintenance windows (FailureAware); when any
+	// window is still pending, Pick switches from the sorted-completions
+	// shadow computation to a profile-based one that carves the drains
+	// out of future capacity.
+	announced []sim.Failure
+	// scratch is the reusable drain-aware availability profile (only
+	// allocated when windows are announced).
+	scratch *profile.Profile
 }
 
 // NewEASYStarter returns the EASY backfilling start policy.
@@ -121,12 +179,24 @@ func NewEASYStarter() *EASYStarter { return &EASYStarter{} }
 func (*EASYStarter) Name() string { return string(StartEASY) }
 
 // Instrument implements Instrumented.
-func (s *EASYStarter) Instrument(h telemetry.Hooks) { s.rec = h.Recorder }
+func (s *EASYStarter) Instrument(h telemetry.Hooks) {
+	s.rec = h.Recorder
+	s.stats = h.ProfileStats
+	if s.scratch != nil {
+		s.scratch.SetStats(s.stats)
+	}
+}
+
+// Announce implements FailureAware.
+func (s *EASYStarter) Announce(windows []sim.Failure) { s.announced = windows }
 
 // Pick implements Starter.
 func (s *EASYStarter) Pick(ordered []*job.Job, now int64, free int, running []sim.Running, machineNodes int) *job.Job {
 	if len(ordered) == 0 {
 		return nil
+	}
+	if drainsPending(s.announced, now) {
+		return s.pickAroundDrains(ordered, now, free, running, machineNodes)
 	}
 	head := ordered[0]
 	if head.Nodes <= free {
@@ -150,6 +220,81 @@ func (s *EASYStarter) Pick(ordered []*job.Job, now int64, free int, running []si
 			continue
 		}
 		if now+j.Estimate <= shadow {
+			s.stash(j, telemetry.Decision{
+				Starter: s.Name(), Reason: telemetry.ReasonBackfillBeforeShadow,
+				Depth: i + 1, Head: int64(head.ID), Shadow: shadow, Spare: spare,
+			})
+			return j
+		}
+		if j.Nodes <= spare {
+			s.stash(j, telemetry.Decision{
+				Starter: s.Name(), Reason: telemetry.ReasonBackfillSpareNodes,
+				Depth: i + 1, Head: int64(head.ID), Shadow: shadow, Spare: spare,
+			})
+			return j
+		}
+	}
+	return nil
+}
+
+// pickAroundDrains is EASY's failure-aware variant, used while announced
+// maintenance windows are pending: future capacity is modeled as an
+// availability profile with the drains carved out, the shadow time is the
+// profile's earliest fit for the head (which therefore lands *after* any
+// drain the head cannot straddle), and a job only starts now if the
+// profile admits its whole estimated run from now — so nobody is started
+// straight into a known drain.
+func (s *EASYStarter) pickAroundDrains(ordered []*job.Job, now int64, free int, running []sim.Running, machineNodes int) *job.Job {
+	if s.scratch == nil {
+		s.scratch = profile.New(machineNodes, now)
+		s.scratch.SetStats(s.stats)
+	} else {
+		s.scratch.Reset(machineNodes, now)
+	}
+	p := s.scratch
+	for _, r := range running {
+		end := r.EstEnd
+		if end <= now {
+			// A job running past its estimate would have been killed; be
+			// defensive against malformed Running data.
+			end = now + 1
+		}
+		p.Reserve(r.Job.Nodes, now, end)
+	}
+	reserveDrains(p, s.announced, now, profile.Infinity)
+
+	// fit: physically startable now (free nodes respect active outages)
+	// and the profile admits the whole estimated run starting now.
+	fit := func(j *job.Job) bool {
+		return j.Nodes <= free && p.EarliestFit(j.Nodes, j.Estimate, now) == now
+	}
+	head := ordered[0]
+	if fit(head) {
+		s.stash(head, telemetry.Decision{
+			Starter: s.Name(), Reason: telemetry.ReasonHeadOfQueue, Head: telemetry.None,
+		})
+		return head
+	}
+	if len(ordered) == 1 {
+		return nil
+	}
+	shadow := p.EarliestFit(head.Nodes, head.Estimate, now)
+	spare := 0
+	if shadow < profile.Infinity {
+		if sp := p.FreeAt(shadow) - head.Nodes; sp > 0 {
+			spare = sp
+		}
+	}
+	if s.rec != nil {
+		s.rec.Record(telemetry.Event{Type: telemetry.EventBackfill, At: now,
+			Job: telemetry.None, Starter: s.Name(), Head: int64(head.ID),
+			Shadow: shadow, Spare: spare})
+	}
+	for i, j := range ordered[1:] {
+		if !fit(j) {
+			continue
+		}
+		if job.AddSat(now, j.Estimate) <= shadow {
 			s.stash(j, telemetry.Decision{
 				Starter: s.Name(), Reason: telemetry.ReasonBackfillBeforeShadow,
 				Depth: i + 1, Head: int64(head.ID), Shadow: shadow, Spare: spare,
@@ -227,6 +372,10 @@ type ConservativeStarter struct {
 	// storage via Reset removes the per-pass allocation storm. A Starter
 	// is owned by one simulation goroutine, so this is not a race.
 	scratch *profile.Profile
+	// announced holds maintenance windows (FailureAware): each pass carves
+	// them out of the scratch profile, so reservations — and therefore
+	// start-now decisions — route around known drains.
+	announced []sim.Failure
 }
 
 // NewConservativeStarter returns the exact conservative backfilling
@@ -245,6 +394,9 @@ func NewFastConservativeStarter(maxDepth int) *ConservativeStarter {
 
 // Name implements Starter.
 func (*ConservativeStarter) Name() string { return string(StartConservative) }
+
+// Announce implements FailureAware.
+func (s *ConservativeStarter) Announce(windows []sim.Failure) { s.announced = windows }
 
 // Instrument implements Instrumented.
 func (s *ConservativeStarter) Instrument(h telemetry.Hooks) {
@@ -315,6 +467,11 @@ func (s *ConservativeStarter) Pick(ordered []*job.Job, now int64, free int, runn
 		}
 		p.Reserve(r.Job.Nodes, now, end)
 	}
+	// Announced drains come after the running reservations: ReserveClamped
+	// saturates at zero where a drain overlaps capacity the running set
+	// already holds (those jobs will be aborted by the engine; the profile
+	// must simply not promise that capacity to anyone else).
+	reserveDrains(p, s.announced, now, horizon)
 	for i, j := range ordered[:depth] {
 		t := p.EarliestFit(j.Nodes, j.Estimate, now)
 		if t == now {

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -9,6 +10,12 @@ import (
 	"jobsched/internal/job"
 	"jobsched/internal/telemetry"
 )
+
+// ErrInterrupted is returned by Run when Options.Interrupt reports true:
+// the run was cut short cooperatively (user signal, watchdog) and the
+// partial schedule is discarded. Callers distinguish it from simulation
+// errors with errors.Is.
+var ErrInterrupted = errors.New("sim: run interrupted")
 
 // Options configure a simulation run.
 type Options struct {
@@ -29,6 +36,16 @@ type Options struct {
 	// until the remaining capacity suffices and are resubmitted (restart
 	// from scratch, original submission time kept for the metrics).
 	Failures []Failure
+	// Resubmit governs retries of failure-aborted jobs: bounded budgets,
+	// backoff delays, lost-job accounting. The zero value keeps the
+	// historical behavior (unlimited immediate resubmission).
+	Resubmit ResubmitPolicy
+	// Interrupt, when non-nil, is polled once per event batch; when it
+	// reports true the run stops and returns ErrInterrupted. It is the
+	// cooperative cancellation hook used by the eval watchdog and signal
+	// handling — the function must be cheap and safe for concurrent use
+	// with whatever sets it (typically an atomic flag).
+	Interrupt func() bool
 	// Recorder, when non-nil, receives the structured decision trace:
 	// arrivals, starts (with the start-reason classification supplied by
 	// DecisionExplainer schedulers), finishes, failure aborts, capacity
@@ -62,8 +79,15 @@ type Result struct {
 	// 430-node trace on 256 nodes).
 	MaxQueue int
 	// AbortedAttempts counts job executions cut short by injected
-	// hardware failures (each such job was restarted).
+	// hardware failures.
 	AbortedAttempts int
+	// Resubmits counts post-abort resubmissions actually delivered
+	// (immediate or delayed). AbortedAttempts - Resubmits = LostJobs.
+	Resubmits int
+	// LostJobs counts jobs dropped because their abort count exceeded
+	// Options.Resubmit.MaxResubmits; they never complete and their final
+	// attempt stays aborted in the schedule.
+	LostJobs int
 }
 
 // completion is a pending job completion in the event heap.
@@ -142,7 +166,7 @@ func Run(m Machine, jobs []*job.Job, s Scheduler, opt Options) (*Result, error) 
 	}
 	var raw []edge
 	for _, f := range failures {
-		raw = append(raw, edge{f.At, -f.Nodes}, edge{f.At + f.Duration, f.Nodes})
+		raw = append(raw, edge{f.At, -f.Nodes}, edge{job.AddSat(f.At, f.Duration), f.Nodes})
 	}
 	sort.Slice(raw, func(i, j int) bool { return raw[i].at < raw[j].at })
 	var edges []edge
@@ -182,7 +206,17 @@ func Run(m Machine, jobs []*job.Job, s Scheduler, opt Options) (*Result, error) 
 		// failure abort can rewrite it in place.
 		runningAlloc = make(map[job.ID]int, 64)
 		cancelled    = make(map[int]bool)
+		// resub holds backoff-delayed resubmissions (a second event source
+		// reusing the completion heap shape; seq is the abort order).
+		resub    completionHeap
+		resubSeq = 0
+		// attempts counts failure aborts per job (drives the resubmit
+		// budget, the backoff schedule and the trace Attempt field).
+		attempts map[job.ID]int
 	)
+	if len(failures) > 0 {
+		attempts = make(map[job.ID]int)
+	}
 
 	timed := func(f func()) {
 		if !opt.MeasureCPU {
@@ -208,7 +242,10 @@ func Run(m Machine, jobs []*job.Job, s Scheduler, opt Options) (*Result, error) 
 		return runningBuf
 	}
 
-	for nextArr < len(arrivals) || pending.Len() > 0 || nextEdge < len(edges) {
+	for nextArr < len(arrivals) || pending.Len() > 0 || nextEdge < len(edges) || resub.Len() > 0 {
+		if opt.Interrupt != nil && opt.Interrupt() {
+			return nil, ErrInterrupted
+		}
 		// Determine the next event time.
 		now := int64(-1)
 		if nextArr < len(arrivals) {
@@ -222,6 +259,9 @@ func Run(m Machine, jobs []*job.Job, s Scheduler, opt Options) (*Result, error) 
 			// repair after everything finished is still consumed to keep
 			// the loop finite.
 			now = edges[nextEdge].at
+		}
+		if resub.Len() > 0 && (now < 0 || resub[0].at < now) {
+			now = resub[0].at
 		}
 		if opt.MaxTime > 0 && now > opt.MaxTime {
 			return nil, fmt.Errorf("sim: clock passed MaxTime %d with %d jobs unfinished",
@@ -279,17 +319,53 @@ func Run(m Machine, jobs []*job.Job, s Scheduler, opt Options) (*Result, error) 
 				delete(runningAlloc, victim.Job.ID)
 				// Resubmit: the job restarts from scratch; its original
 				// submission time is kept so response metrics account the
-				// full delay.
+				// full delay. The resubmit policy may delay the retry
+				// (backoff) or drop the job entirely (budget exhausted).
 				j := victim.Job
+				attempts[j.ID]++
+				n := attempts[j.ID]
 				if rec != nil {
 					rec.Record(telemetry.Event{Type: telemetry.EventAbort, At: now,
-						Job: int64(j.ID), Nodes: j.Nodes, Head: telemetry.None})
+						Job: int64(j.ID), Nodes: j.Nodes, Head: telemetry.None,
+						Attempt: n})
+				}
+				if opt.Resubmit.MaxResubmits > 0 && n > opt.Resubmit.MaxResubmits {
+					res.LostJobs++
+					if rec != nil {
+						rec.Record(telemetry.Event{Type: telemetry.EventLost, At: now,
+							Job: int64(j.ID), Nodes: j.Nodes, Head: telemetry.None,
+							Attempt: n})
+					}
+					continue
+				}
+				if delay := opt.Resubmit.Delay(n); delay > 0 {
+					heap.Push(&resub, completion{at: job.AddSat(now, delay), seq: resubSeq, job: j})
+					resubSeq++
+					continue
+				}
+				res.Resubmits++
+				if rec != nil {
 					rec.Record(telemetry.Event{Type: telemetry.EventArrival, At: now,
 						Job: int64(j.ID), Nodes: j.Nodes, Head: telemetry.None,
-						Resubmit: true})
+						Resubmit: true, Attempt: n})
 				}
 				timed(func() { s.Submit(j, now) })
 			}
+		}
+		// Deliver backoff-delayed resubmissions due at `now` (after the
+		// failure edges so a retry never lands on capacity that vanished
+		// in the same instant, before fresh arrivals so retried jobs keep
+		// their seniority in submission-order delivery).
+		for resub.Len() > 0 && resub[0].at == now {
+			c := heap.Pop(&resub).(completion)
+			res.Resubmits++
+			if rec != nil {
+				rec.Record(telemetry.Event{Type: telemetry.EventArrival, At: now,
+					Job: int64(c.job.ID), Nodes: c.job.Nodes, Head: telemetry.None,
+					Resubmit: true, Attempt: attempts[c.job.ID]})
+			}
+			j := c.job
+			timed(func() { s.Submit(j, now) })
 		}
 		// Deliver all arrivals at `now`.
 		for nextArr < len(arrivals) && arrivals[nextArr].Submit == now {
@@ -324,12 +400,12 @@ func Run(m Machine, jobs []*job.Job, s Scheduler, opt Options) (*Result, error) 
 						s.Name(), j, free)
 				}
 				free -= j.Nodes
-				end := now + j.EffectiveRuntime()
+				end := job.AddSat(now, j.EffectiveRuntime())
 				runningAlloc[j.ID] = len(res.Schedule.Allocs)
 				res.Schedule.Allocs = append(res.Schedule.Allocs, Allocation{
 					Job: j, Start: now, End: end, Killed: j.Killed(),
 				})
-				runningBy[j.ID] = Running{Job: j, Start: now, EstEnd: now + j.Estimate}
+				runningBy[j.ID] = Running{Job: j, Start: now, EstEnd: job.AddSat(now, j.Estimate)}
 				runningSeq[j.ID] = startSeq
 				heap.Push(&pending, completion{at: end, seq: startSeq, job: j})
 				startSeq++

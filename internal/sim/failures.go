@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"sort"
+
+	"jobsched/internal/job"
 )
 
 // Failure models the sudden loss of hardware the paper's Section 2 names
@@ -36,7 +38,10 @@ func validateFailures(failures []Failure, machineNodes int) ([]Failure, error) {
 	}
 	var edges []edge
 	for _, f := range out {
-		edges = append(edges, edge{f.At, f.Nodes}, edge{f.At + f.Duration, -f.Nodes})
+		// The repair edge saturates: a failure placed near the int64
+		// horizon must not wrap At + Duration into the past, where the
+		// phantom repair would free nodes that never went down.
+		edges = append(edges, edge{f.At, f.Nodes}, edge{job.AddSat(f.At, f.Duration), -f.Nodes})
 	}
 	sort.Slice(edges, func(i, j int) bool {
 		if edges[i].at != edges[j].at {
@@ -52,4 +57,12 @@ func validateFailures(failures []Failure, machineNodes int) ([]Failure, error) {
 		}
 	}
 	return out, nil
+}
+
+// ValidateFailures checks a failure schedule against a machine size and
+// returns it sorted by onset — the same validation Run applies. Exported
+// so fault-plan generators (internal/faults) and fuzz targets can reject
+// invalid schedules without running a simulation.
+func ValidateFailures(failures []Failure, machineNodes int) ([]Failure, error) {
+	return validateFailures(failures, machineNodes)
 }

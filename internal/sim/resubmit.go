@@ -1,0 +1,57 @@
+package sim
+
+import "jobsched/internal/job"
+
+// ResubmitPolicy governs what happens to a job whose running attempt was
+// aborted by a hardware failure. The zero value reproduces the engine's
+// historical behavior: unlimited immediate resubmission (the job re-enters
+// the scheduler's queue in the same event batch that aborted it).
+//
+// Real resource managers neither retry forever nor retry instantly: a job
+// that keeps landing on flaky hardware is eventually dropped, and retries
+// are spaced out so a repair crew (or a transient fault) has time to act.
+// MaxResubmits bounds the retry budget — a job aborted more than
+// MaxResubmits times is *lost*: its final attempt stays aborted in the
+// schedule, Result.LostJobs is incremented, and an EventLost trace record
+// is emitted. BackoffBase spaces retries: the k-th resubmission of a job
+// is delivered BackoffBase * BackoffFactor^(k-1) seconds (capped at
+// BackoffCap) after the abort instead of immediately.
+type ResubmitPolicy struct {
+	// MaxResubmits is the per-job retry budget: the number of times an
+	// aborted job is resubmitted before being dropped as lost.
+	// 0 means unlimited (every abort is resubmitted).
+	MaxResubmits int
+	// BackoffBase is the delay in seconds before the first resubmission.
+	// 0 means immediate resubmission (the historical engine behavior).
+	BackoffBase int64
+	// BackoffFactor multiplies the delay for every further resubmission
+	// of the same job. Values < 2 (including 0) default to 2.
+	BackoffFactor int64
+	// BackoffCap bounds the delay of any single resubmission.
+	// 0 means uncapped (delays saturate at MaxInt64 eventually).
+	BackoffCap int64
+}
+
+// Delay returns the resubmission delay in seconds for a job's attempt-th
+// abort (attempt is 1-based). Arithmetic saturates, so a runaway backoff
+// clamps at MaxInt64 rather than wrapping into the past.
+func (p ResubmitPolicy) Delay(attempt int) int64 {
+	if p.BackoffBase <= 0 {
+		return 0
+	}
+	factor := p.BackoffFactor
+	if factor < 2 {
+		factor = 2
+	}
+	d := p.BackoffBase
+	for i := 1; i < attempt; i++ {
+		if p.BackoffCap > 0 && d >= p.BackoffCap {
+			break
+		}
+		d = job.MulSat(d, factor)
+	}
+	if p.BackoffCap > 0 && d > p.BackoffCap {
+		d = p.BackoffCap
+	}
+	return d
+}

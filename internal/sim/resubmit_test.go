@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"jobsched/internal/job"
+	"jobsched/internal/telemetry"
+)
+
+// TestFailureRepairOverflow is the regression test for the f.At+f.Duration
+// overflow in failure handling: a repair edge past MaxInt64 used to wrap
+// into the distant past, sort before every real event, and hand the
+// machine a phantom extra node. Pre-fix this run produced an invalid
+// 5-nodes-on-4 schedule (caught by Validate); post-fix the repair clamps
+// and the third job waits its turn.
+func TestFailureRepairOverflow(t *testing.T) {
+	jobs := []*job.Job{
+		mkJob(0, 0, 100, 100, 2),
+		mkJob(1, 0, 100, 100, 2),
+		mkJob(2, 0, 100, 100, 1),
+	}
+	res, err := Run(Machine{Nodes: 4}, jobs, &fifoScheduler{}, Options{
+		Validate: true,
+		Failures: []Failure{{At: math.MaxInt64 - 10, Nodes: 1, Duration: 100}},
+	})
+	if err != nil {
+		t.Fatalf("run with near-MaxInt64 repair: %v", err)
+	}
+	a2 := res.Schedule.ByJobID(2)
+	if a2 == nil || a2.Start != 100 {
+		t.Fatalf("job 2 = %+v, want start at 100 (after jobs 0+1 free the machine)", a2)
+	}
+}
+
+func TestValidateFailuresExported(t *testing.T) {
+	got, err := ValidateFailures([]Failure{
+		{At: 50, Nodes: 1, Duration: 10},
+		{At: 0, Nodes: 2, Duration: 10},
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].At != 0 || got[1].At != 50 {
+		t.Fatalf("ValidateFailures did not sort: %+v", got)
+	}
+	if _, err := ValidateFailures([]Failure{{At: 0, Nodes: 5, Duration: 10}}, 4); err == nil {
+		t.Fatal("oversized failure accepted")
+	}
+	// Overlap check must survive a repair time past MaxInt64.
+	if _, err := ValidateFailures([]Failure{
+		{At: math.MaxInt64 - 5, Nodes: 2, Duration: 100},
+		{At: math.MaxInt64 - 3, Nodes: 3, Duration: 100},
+	}, 4); err == nil {
+		t.Fatal("overlapping failures exceeding the machine accepted")
+	}
+}
+
+func TestResubmitPolicyDelay(t *testing.T) {
+	cases := []struct {
+		p       ResubmitPolicy
+		attempt int
+		want    int64
+	}{
+		{ResubmitPolicy{}, 1, 0},
+		{ResubmitPolicy{}, 5, 0},
+		{ResubmitPolicy{BackoffBase: 10}, 1, 10},
+		{ResubmitPolicy{BackoffBase: 10}, 2, 20},
+		{ResubmitPolicy{BackoffBase: 10}, 3, 40},
+		{ResubmitPolicy{BackoffBase: 10, BackoffFactor: 3}, 3, 90},
+		{ResubmitPolicy{BackoffBase: 10, BackoffFactor: 3, BackoffCap: 50}, 3, 50},
+		{ResubmitPolicy{BackoffBase: 10, BackoffCap: 15}, 2, 15},
+		{ResubmitPolicy{BackoffBase: math.MaxInt64 / 2, BackoffFactor: 2}, 3, math.MaxInt64},
+	}
+	for _, c := range cases {
+		if got := c.p.Delay(c.attempt); got != c.want {
+			t.Errorf("%+v.Delay(%d) = %d, want %d", c.p, c.attempt, got, c.want)
+		}
+	}
+}
+
+// TestResubmitBudgetLost: a job aborted more often than its budget allows
+// is dropped, accounted in LostJobs, and traced as an EventLost.
+func TestResubmitBudgetLost(t *testing.T) {
+	jobs := []*job.Job{mkJob(0, 0, 100, 100, 2)}
+	buf := &telemetry.Buffer{}
+	res, err := Run(Machine{Nodes: 2}, jobs, &fifoScheduler{}, Options{
+		Validate: true,
+		Failures: []Failure{
+			{At: 10, Nodes: 2, Duration: 5},
+			{At: 40, Nodes: 2, Duration: 5},
+		},
+		Resubmit: ResubmitPolicy{MaxResubmits: 1},
+		Recorder: buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AbortedAttempts != 2 || res.Resubmits != 1 || res.LostJobs != 1 {
+		t.Fatalf("aborted=%d resubmits=%d lost=%d, want 2/1/1",
+			res.AbortedAttempts, res.Resubmits, res.LostJobs)
+	}
+	for _, a := range res.Schedule.Allocs {
+		if !a.Aborted {
+			t.Fatalf("lost job has a completed allocation: %+v", a)
+		}
+	}
+	var lost []telemetry.Event
+	for _, ev := range buf.Events() {
+		if ev.Type == telemetry.EventLost {
+			lost = append(lost, ev)
+		}
+	}
+	if len(lost) != 1 || lost[0].Job != 0 || lost[0].At != 40 || lost[0].Attempt != 2 {
+		t.Fatalf("lost events = %+v, want one for job 0 at t=40 attempt 2", lost)
+	}
+	counters := telemetry.NewCounters()
+	for _, ev := range buf.Events() {
+		counters.Record(ev)
+	}
+	if counters.Lost != 1 {
+		t.Fatalf("counters.Lost = %d, want 1", counters.Lost)
+	}
+}
+
+// TestResubmitBackoff: with a backoff base the retry is delivered after
+// the delay, not in the abort's event batch.
+func TestResubmitBackoff(t *testing.T) {
+	jobs := []*job.Job{mkJob(0, 0, 100, 100, 2)}
+	buf := &telemetry.Buffer{}
+	res, err := Run(Machine{Nodes: 2}, jobs, &fifoScheduler{}, Options{
+		Validate: true,
+		Failures: []Failure{{At: 10, Nodes: 2, Duration: 5}},
+		Resubmit: ResubmitPolicy{BackoffBase: 20},
+		Recorder: buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AbortedAttempts != 1 || res.Resubmits != 1 || res.LostJobs != 0 {
+		t.Fatalf("aborted=%d resubmits=%d lost=%d, want 1/1/0",
+			res.AbortedAttempts, res.Resubmits, res.LostJobs)
+	}
+	var final *Allocation
+	for i := range res.Schedule.Allocs {
+		if !res.Schedule.Allocs[i].Aborted {
+			final = &res.Schedule.Allocs[i]
+		}
+	}
+	// Abort at 10, backoff 20 => retry delivered (and started) at 30.
+	if final == nil || final.Start != 30 || final.End != 130 {
+		t.Fatalf("final attempt = %+v, want [30,130]", final)
+	}
+	seen := false
+	for _, ev := range buf.Events() {
+		if ev.Type == telemetry.EventArrival && ev.Resubmit {
+			seen = true
+			if ev.At != 30 || ev.Attempt != 1 {
+				t.Fatalf("resubmit arrival = %+v, want at=30 attempt=1", ev)
+			}
+		}
+	}
+	if !seen {
+		t.Fatal("no resubmit arrival traced")
+	}
+}
+
+// TestResubmitBackoffGrows: consecutive aborts of the same job space out
+// exponentially (base 10, factor 2: delays 10 then 20).
+func TestResubmitBackoffGrows(t *testing.T) {
+	jobs := []*job.Job{mkJob(0, 0, 100, 100, 2)}
+	res, err := Run(Machine{Nodes: 2}, jobs, &fifoScheduler{}, Options{
+		Validate: true,
+		Failures: []Failure{
+			{At: 10, Nodes: 2, Duration: 1}, // abort 1 -> retry at 20
+			{At: 30, Nodes: 2, Duration: 1}, // abort 2 -> retry at 50
+		},
+		Resubmit: ResubmitPolicy{BackoffBase: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts := make([]int64, 0, 3)
+	for _, a := range res.Schedule.Allocs {
+		starts = append(starts, a.Start)
+	}
+	want := []int64{0, 20, 50}
+	if len(starts) != len(want) {
+		t.Fatalf("got %d attempts (%v), want %v", len(starts), starts, want)
+	}
+	for i := range want {
+		if starts[i] != want[i] {
+			t.Fatalf("attempt starts = %v, want %v", starts, want)
+		}
+	}
+	if res.Resubmits != 2 || res.LostJobs != 0 {
+		t.Fatalf("resubmits=%d lost=%d, want 2/0", res.Resubmits, res.LostJobs)
+	}
+}
+
+func TestInterrupt(t *testing.T) {
+	jobs := []*job.Job{mkJob(0, 0, 100, 100, 1)}
+	_, err := Run(Machine{Nodes: 4}, jobs, &fifoScheduler{}, Options{
+		Interrupt: func() bool { return true },
+	})
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	// A never-firing interrupt must not disturb the run.
+	res, err := Run(Machine{Nodes: 4}, jobs, &fifoScheduler{}, Options{
+		Validate:  true,
+		Interrupt: func() bool { return false },
+	})
+	if err != nil || len(res.Schedule.Allocs) != 1 {
+		t.Fatalf("run with inert interrupt: %v", err)
+	}
+}

@@ -32,6 +32,8 @@ type Counters struct {
 	Finishes  int64
 	Kills     int64
 	Aborts    int64
+	// Lost counts jobs dropped after exhausting their resubmit budget.
+	Lost int64
 	// CapacityEvents counts applied net capacity changes (failures and
 	// repairs after same-instant coalescing).
 	CapacityEvents int64
@@ -115,6 +117,8 @@ func (c *Counters) Record(ev Event) {
 		}
 	case EventAbort:
 		c.Aborts++
+	case EventLost:
+		c.Lost++
 	case EventCapacity:
 		c.CapacityEvents++
 	case EventBackfill:
@@ -138,6 +142,9 @@ func (c *Counters) Record(ev Event) {
 func (c *Counters) Report(w io.Writer) error {
 	fmt.Fprintf(w, "events:            %d arrivals (%d resubmits), %d starts, %d finishes (%d killed), %d aborts, %d capacity changes\n",
 		c.Arrivals, c.Resubmits, c.Starts, c.Finishes, c.Kills, c.Aborts, c.CapacityEvents)
+	if c.Lost > 0 {
+		fmt.Fprintf(w, "lost jobs:         %d (resubmit budget exhausted)\n", c.Lost)
+	}
 	fmt.Fprintf(w, "scheduling:        %d passes, %d scheduler queries\n", c.Passes, c.StartableCalls)
 	for _, name := range sortedKeys(c.BackfillAttempts, c.BackfillSuccesses) {
 		fmt.Fprintf(w, "backfill [%s]: %d attempts, %d successes\n",

@@ -49,6 +49,10 @@ const (
 	// Whether the attempt succeeded shows up as a subsequent EventStart
 	// with Depth > 0.
 	EventBackfill Type = "backfill-attempt"
+	// EventLost is a job dropped after exhausting its resubmit budget
+	// (sim.ResubmitPolicy.MaxResubmits): the aborted attempt is not
+	// resubmitted and the job never completes.
+	EventLost Type = "lost"
 )
 
 // Reason classifies why a start policy started a job — the taxonomy of
@@ -118,6 +122,10 @@ type Event struct {
 	Resubmit bool `json:"resubmit,omitempty"`
 	// Delta is the net capacity change (EventCapacity).
 	Delta int `json:"delta,omitempty"`
+	// Attempt is the 1-based count of failure aborts the job has suffered
+	// so far (EventAbort, post-abort resubmit arrivals, EventLost); 0 on
+	// events that predate failure handling.
+	Attempt int `json:"attempt,omitempty"`
 }
 
 // Decision is the classification of one start decision, as reported by a

@@ -169,9 +169,6 @@ func parseRecord(fields []string, opt ReadOptions) (*job.Job, error) {
 	if err != nil {
 		return nil, err
 	}
-	if !opt.KeepNonCompleted && (status == StatusFailed || status == StatusCancelled) {
-		return nil, nil // failed/cancelled record: skip by default
-	}
 	submit, err := geti(fieldSubmit)
 	if err != nil {
 		return nil, err
@@ -191,6 +188,12 @@ func parseRecord(fields []string, opt ReadOptions) (*job.Job, error) {
 	reqTime, err := geti(fieldReqTime)
 	if err != nil {
 		return nil, err
+	}
+	// Filter only after every needed field parsed: whether a record is
+	// malformed must not depend on ReadOptions, or the same file would
+	// succeed under one filter and fail under another.
+	if !opt.KeepNonCompleted && (status == StatusFailed || status == StatusCancelled) {
+		return nil, nil // failed/cancelled record: skip by default
 	}
 	nodes := reqProcs
 	if nodes <= 0 {

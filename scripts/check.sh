@@ -18,12 +18,19 @@
 #   test-race    go test -race ./... — full suite (incl. the differential
 #                profile oracle and cross-worker determinism tests) under
 #                the race detector
+#   race-focus   go test -race -count=2 over the failure-injection path
+#                (sim, eval, faults): the packages where goroutines meet
+#                shared state (parallel grids, journal, watchdog timers,
+#                interrupt flags) get a second run to shake out
+#                order-dependent races the single pass can miss
 #   fuzz-smoke   fixed-budget runs of the fuzz targets: the SWF reader
-#                (trace.FuzzReadSWF) and the availability-profile
-#                differential oracle (profile.FuzzProfileOps). A short
-#                deterministic budget — regressions on the seeded corpus
-#                and shallow mutations fail here; deep exploration is for
-#                manual `make fuzz` sessions
+#                (trace.FuzzReadSWF), the availability-profile
+#                differential oracle (profile.FuzzProfileOps) and the
+#                fault-schedule generator/simulator invariants
+#                (faults.FuzzFailureSchedule). A short deterministic
+#                budget — regressions on the seeded corpus and shallow
+#                mutations fail here; deep exploration is for manual
+#                `make fuzz` sessions
 #   bench-smoke  cmd/bench -quick: the perf harness still runs end to
 #                end (tiny benchtime, no BENCH_*.json written), and the
 #                telemetry nil-recorder gate holds (see cmd/bench)
@@ -46,8 +53,10 @@ run lint go run ./cmd/jobschedlint ./...
 run lint-budget ./scripts/lint-budget.sh
 run build go build ./...
 run test-race go test -race ./...
+run race-focus go test -race -count=2 ./internal/sim ./internal/eval ./internal/faults
 run fuzz-smoke go test -run='^$' -fuzz='^FuzzReadSWF$' -fuzztime=500x ./internal/trace
 run fuzz-smoke go test -run='^$' -fuzz='^FuzzProfileOps$' -fuzztime=500x ./internal/profile
+run fuzz-smoke go test -run='^$' -fuzz='^FuzzFailureSchedule$' -fuzztime=500x ./internal/faults
 
 step=bench-smoke
 echo "==> bench-smoke: go run ./cmd/bench -quick"
