@@ -23,20 +23,21 @@ lint:
 	./scripts/lint-budget.sh
 
 # Fixed-budget fuzz runs of the SWF reader, the availability-profile
-# differential oracle and the fault-schedule invariants — the same
-# budgets the tier-1 gate uses.
+# differential oracle, the tree-kernel structural invariants and the
+# fault-schedule invariants — the same budgets the tier-1 gate uses.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzReadSWF$$' -fuzztime=500x ./internal/trace
 	$(GO) test -run='^$$' -fuzz='^FuzzProfileOps$$' -fuzztime=500x ./internal/profile
+	$(GO) test -run='^$$' -fuzz='^FuzzProfileTree$$' -fuzztime=500x ./internal/profile
 	$(GO) test -run='^$$' -fuzz='^FuzzFailureSchedule$$' -fuzztime=500x ./internal/faults
 
 race:
 	$(GO) test -race ./...
 
-# Perf-harness smoke run (tiny benchtime, no file written).
+# Perf-harness smoke run (tiny benchtime, no files written).
 bench-smoke:
-	$(GO) run ./cmd/bench -quick -out ""
+	$(GO) run ./cmd/bench -quick -out "" -out2 "" -out3 ""
 
-# Full perf harness: regenerates BENCH_1.json (see DESIGN.md §7).
+# Full perf harness: regenerates BENCH_1/2/3.json (see DESIGN.md §7, §11).
 bench:
 	$(GO) run ./cmd/bench

@@ -19,10 +19,17 @@
 // it fails when the conservative grid bench regresses beyond the noise
 // band of the pre-telemetry commit.
 //
+// A third report (default BENCH_3.json) is the deep-backlog family:
+// ≥100k-step profiles and ≥100k-job queues, where the O(log S) tree
+// kernel and the batched scheduling passes are measured against the
+// live array (skip-ahead) kernel and the sequential one-start-per-pass
+// protocol. Deep entries run at -benchtime=1x: a single iteration of
+// the quadratic "before" side is already seconds.
+//
 // Usage:
 //
-//	go run ./cmd/bench                          # full run, writes BENCH_1.json + BENCH_2.json
-//	go run ./cmd/bench -quick -out "" -out2 ""  # CI smoke: tiny benchtime, no files, perf gate
+//	go run ./cmd/bench                                    # full run, writes BENCH_1/2/3.json
+//	go run ./cmd/bench -quick -out "" -out2 "" -out3 ""   # CI smoke: tiny benchtime, no files, perf gate
 package main
 
 import (
@@ -87,17 +94,21 @@ const (
 	pr1BacklogNsOp   = 348246859 // full backlog grid, -benchtime 0.5s
 	pr1BacklogAllocs = 57250
 	// pr1QuickBacklogNsOp is the quick-mode (-benchtime 10x) backlog grid
-	// mean; repeated pre-telemetry runs scattered ±4%, so the smoke gate
-	// fails only beyond 15% — a real per-event cost in the hot loop shows
-	// up far above that, scheduler-noise blips do not.
+	// mean. Pre-telemetry runs on an idle container scattered ±4%, but on
+	// a loaded shared host even the min-of-3 drifts up to ~25% above the
+	// recorded mean (measured on the unmodified seed commit), so the
+	// smoke gate fails only beyond 40%. A real per-event cost in the hot
+	// loop — the grid issues millions of events per op — shows up at
+	// multiples of the baseline, far above any load blip.
 	pr1QuickBacklogNsOp = 4757849
-	quickGateFactor     = 1.15
+	quickGateFactor     = 1.4
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "tiny benchtime smoke run (CI gate)")
 	out := flag.String("out", "BENCH_1.json", "output path; empty writes the JSON to stdout only")
 	out2 := flag.String("out2", "BENCH_2.json", "telemetry-overhead report path; empty writes to stdout only")
+	out3 := flag.String("out3", "BENCH_3.json", "deep-backlog report path; empty writes to stdout only")
 	flag.Parse()
 
 	testing.Init()
@@ -130,6 +141,17 @@ func main() {
 	}
 	rep2.Entries = telemetryEntries(*quick)
 	emit(rep2, *out2)
+
+	rep3 := &Report{
+		Schema:     "jobsched-bench/v3-deep-backlog",
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Note: "deep-backlog family (>=100k profile steps / >=100k queued jobs): " +
+			"before = array skip-ahead kernel or sequential one-start-per-pass " +
+			"protocol (both live), after = O(log S) tree kernel with batched passes",
+	}
+	rep3.Entries = deepEntries(*quick)
+	emit(rep3, *out3)
 
 	if *quick {
 		// Smoke gate: the nil-recorder path must stay within the noise
@@ -395,10 +417,10 @@ func telemetryEntries(quick bool) []Entry {
 	// sample is only a couple of iterations and machine noise dominates.
 	// Take the best of a few runs per configuration — min-of-N is the
 	// standard noise-robust statistic for before/after comparisons.
+	// Quick mode gates on an absolute recorded constant, so a single
+	// sample under a transient load spike fails spuriously; min-of-3 is
+	// cheap there (~50 ms per sample) and keeps the gate honest.
 	runs := 3
-	if quick {
-		runs = 1 // the quick gate has its own generous noise band
-	}
 	best := func(f func(b *testing.B)) testing.BenchmarkResult {
 		r := testing.Benchmark(f)
 		for i := 1; i < runs; i++ {
@@ -445,6 +467,151 @@ func telemetryEntries(quick bool) []Entry {
 	jl.Metrics = map[string]float64{"overhead_pct": overhead(disabled, jsonl)}
 
 	return []Entry{off, cnt, jl}
+}
+
+// deepEntries is the BENCH_3.json family: profile queries and whole
+// scheduling passes at deep-backlog scale, tree kernel + batched passes
+// (after) against the array skip-ahead kernel + sequential protocol
+// (before), both measured live. Deep entries run at -benchtime=1x — one
+// iteration of the quadratic before side is already seconds — and the
+// previous benchtime is restored afterwards.
+func deepEntries(quick bool) []Entry {
+	prev := flag.Lookup("test.benchtime").Value.String()
+	flag.Set("test.benchtime", "1x")
+	defer flag.Set("test.benchtime", prev)
+
+	steps := 1 << 17
+	queue := 100_000
+	jobs := 100_000
+	if quick {
+		steps, queue, jobs = 1<<12, 2_000, 3_000
+	}
+
+	// EarliestFit over a profile whose only fit for a wide job is past
+	// every step: the array kernel's skip-ahead must visit each blocking
+	// run, the tree's max-pruned descent jumps straight to the tail.
+	buildDeep := func(k profile.Kernel) {
+		k.Reserve(2, 0, int64(steps)*10)
+		for i := 0; i < steps; i++ {
+			at := int64(i) * 10
+			k.Reserve(1, at, at+5) // free alternates 1/2 across the span
+		}
+	}
+	fitDeep := func(k profile.Kernel) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			span := int64(steps) * 10
+			for i := 0; i < b.N; i++ {
+				for from := int64(0); from < span; from += span / 64 {
+					if k.EarliestFit(3, 50, from) < from {
+						b.Fatal("fit before from")
+					}
+				}
+			}
+		}
+	}
+	arrFit := profile.New(4, 0)
+	treeFit := profile.NewTree(4, 0)
+	buildDeep(arrFit)
+	buildDeep(treeFit)
+	fitEntry := entry(fmt.Sprintf("profile/EarliestFitDeep/steps=%d", steps),
+		"skip-ahead-kernel-live",
+		testing.Benchmark(fitDeep(arrFit)), testing.Benchmark(fitDeep(treeFit)))
+	fitEntry.Metrics = map[string]float64{"profile_steps": float64(arrFit.StepCount())}
+
+	// A full conservative placement pass at deep scale: every queued job
+	// fitted and reserved on one profile. The backlog is capability-
+	// style — every job wider than half the machine, durations spread so
+	// step boundaries never coalesce — so placements serialize at the
+	// growing schedule tail. The array kernel re-scans every occupied
+	// step in front of the tail per query (O(n²) total); the tree's
+	// max-pruned descent rejects the saturated prefix wholesale and
+	// stays O(n log n).
+	widths := make([]int, queue)
+	durs := make([]int64, queue)
+	for i := range widths {
+		widths[i] = 129 + (i*7)%64
+		durs[i] = 60 + int64(i%1000)*7
+	}
+	passDeep := func(k profile.Kernel) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				k.Reset(256, 0)
+				for j := range widths {
+					at := k.EarliestFit(widths[j], durs[j], 0)
+					k.Reserve(widths[j], at, at+durs[j])
+				}
+			}
+		}
+	}
+	arrPass := profile.New(256, 0)
+	treePass := profile.NewTree(256, 0)
+	passEntry := entry(fmt.Sprintf("profile/ConservativePassDeep/queue=%d", queue),
+		"skip-ahead-kernel-live",
+		testing.Benchmark(passDeep(arrPass)), testing.Benchmark(passDeep(treePass)))
+	passEntry.Metrics = map[string]float64{"final_profile_steps": float64(treePass.StepCount())}
+
+	// End-to-end: simulate a deep backlog (every job submitted at t=0)
+	// through the engine. Before: sequential one-start-per-pass protocol
+	// on the array kernel; after: batched passes on the tree kernel. The
+	// runs must agree on the schedule — the makespans are cross-checked.
+	deepJobs := func() []*job.Job {
+		js := make([]*job.Job, jobs)
+		for i := range js {
+			w := 1 + (i*7)%8
+			if i%199 == 198 {
+				w = 256
+			}
+			js[i] = &job.Job{ID: job.ID(i), Submit: 0, Nodes: w,
+				Runtime: 60, Estimate: 60 + int64(i%4)*30}
+		}
+		return js
+	}
+	drains := []sim.Failure{{At: 3_000, Nodes: 128, Duration: 600}}
+	simDeep := func(cfg sched.Config, o sched.OrderName, s sched.StartName, sequential bool, makespan *int64) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				alg, err := sched.New(o, s, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				alg.SetSequentialPasses(sequential)
+				res, err := sim.Run(sim.Machine{Nodes: 256}, deepJobs(), alg, sim.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				*makespan = res.Schedule.Makespan()
+			}
+		}
+	}
+	arrayFactory := func(n int, from int64) profile.Kernel { return profile.New(n, from) }
+	schedEntries := []Entry{}
+	for _, c := range []struct {
+		name string
+		cfg  sched.Config
+		s    sched.StartName
+	}{
+		{"FCFS-Backfilling-depth4", sched.Config{MachineNodes: 256, MaxBackfillDepth: 4}, sched.StartConservative},
+		{"FCFS-EASY-drains", sched.Config{MachineNodes: 256, Announced: drains}, sched.StartEASY},
+	} {
+		var mkBefore, mkAfter int64
+		beforeCfg := c.cfg
+		beforeCfg.ProfileFactory = arrayFactory
+		before := testing.Benchmark(simDeep(beforeCfg, sched.OrderFCFS, c.s, true, &mkBefore))
+		after := testing.Benchmark(simDeep(c.cfg, sched.OrderFCFS, c.s, false, &mkAfter))
+		if mkBefore != mkAfter {
+			fatal(fmt.Errorf("deep backlog %s: batched makespan %d != sequential %d (schedule changed!)",
+				c.name, mkAfter, mkBefore))
+		}
+		e := entry(fmt.Sprintf("sched/DeepBacklogPass/jobs=%d/%s", jobs, c.name),
+			"sequential-passes-live", before, after)
+		e.Metrics = map[string]float64{"makespan_s": float64(mkAfter)}
+		schedEntries = append(schedEntries, e)
+	}
+
+	return append([]Entry{fitEntry, passEntry}, schedEntries...)
 }
 
 // recorded wraps seed-commit measurements in a BenchmarkResult so entry()

@@ -65,6 +65,8 @@ type Profile struct {
 	// stats, when attached via SetStats, counts kernel operations for the
 	// telemetry layer. nil (the default) costs one branch per operation.
 	stats *Stats
+	// passNow anchors an open batched scheduling pass (see BeginPass).
+	passNow int64
 }
 
 // New returns a profile for a machine with the given node count, entirely
@@ -355,6 +357,31 @@ func (p *Profile) MinFree(start, end int64) int {
 	}
 	return min
 }
+
+// BeginPass opens a batched scheduling pass anchored at `now`. The array
+// kernel has no canonicalization to defer, so the pass only records the
+// anchor time (and counts toward Stats.Passes for comparability with the
+// tree kernel).
+func (p *Profile) BeginPass(now int64) {
+	p.passNow = now
+	if p.stats != nil {
+		p.stats.Passes++
+	}
+}
+
+// StartMany places each request at its earliest fit from the pass time
+// and reserves it, appending the start times to `starts`. Identical in
+// effect to the equivalent sequential EarliestFit+Reserve loop (it *is*
+// that loop here).
+func (p *Profile) StartMany(reqs []StartReq, starts []int64) []int64 {
+	if p.stats != nil {
+		p.stats.BatchedStarts += int64(len(reqs))
+	}
+	return startManySequential(p, reqs, p.passNow, starts)
+}
+
+// CommitPass closes the pass. Nothing was deferred: no-op.
+func (p *Profile) CommitPass() {}
 
 // StepCount returns the number of steps (diagnostics, complexity tests).
 func (p *Profile) StepCount() int { return len(p.steps) }

@@ -21,6 +21,8 @@ import (
 type Reference struct {
 	steps []step
 	nodes int
+	// passNow anchors an open batched scheduling pass (see BeginPass).
+	passNow int64
 }
 
 // NewReference returns a brute-force profile for a machine with the given
@@ -38,11 +40,33 @@ func NewReference(nodes int, from int64) *Reference {
 // Nodes returns the machine size.
 func (p *Reference) Nodes() int { return p.nodes }
 
+// SetStats is a no-op: the oracle stays uninstrumented so its operation
+// mix can never perturb a differential run's counters.
+func (p *Reference) SetStats(s *Stats) {}
+
+// Reset reinitializes p to a fully free machine of the given size from
+// time `from` on, reusing the step storage. Needed so the oracle can
+// stand in for the optimized kernels as a scratch-profile backend in the
+// backend-swap determinism tests.
+func (p *Reference) Reset(nodes int, from int64) {
+	if nodes <= 0 {
+		panic("profile: machine must have at least one node")
+	}
+	p.nodes = nodes
+	p.steps = append(p.steps[:0], step{at: from, free: nodes})
+}
+
 // Clone returns an independent deep copy.
 func (p *Reference) Clone() *Reference {
 	c := &Reference{nodes: p.nodes, steps: make([]step, len(p.steps))}
 	copy(c.steps, p.steps)
 	return c
+}
+
+// CloneInto copies p into dst, reusing dst's step storage.
+func (p *Reference) CloneInto(dst *Reference) {
+	dst.nodes = p.nodes
+	dst.steps = append(dst.steps[:0], p.steps...)
 }
 
 // FreeAt returns the number of free nodes at time t. Times before the
@@ -232,6 +256,20 @@ func (p *Reference) MinFree(start, end int64) int {
 	}
 	return min
 }
+
+// BeginPass opens a batched scheduling pass anchored at `now`. The
+// oracle defers nothing: the pass only records the anchor time.
+func (p *Reference) BeginPass(now int64) { p.passNow = now }
+
+// StartMany places each request at its earliest fit from the pass time
+// and reserves it, appending the start times to `starts` — literally the
+// sequential loop the batch API is specified against.
+func (p *Reference) StartMany(reqs []StartReq, starts []int64) []int64 {
+	return startManySequential(p, reqs, p.passNow, starts)
+}
+
+// CommitPass closes the pass. Nothing was deferred: no-op.
+func (p *Reference) CommitPass() {}
 
 // StepCount returns the number of steps (diagnostics, complexity tests).
 func (p *Reference) StepCount() int { return len(p.steps) }

@@ -20,6 +20,21 @@ type Stats struct {
 	FreeAt         int64
 	MinFree        int64
 	Resets         int64
+
+	// Batch-pass counters (BeginPass/StartMany; see kernel.go). Passes
+	// counts opened passes, BatchedStarts the requests placed through
+	// StartMany. Excluded from Total: a batched start still performs its
+	// EarliestFit and Reserve, which Total already counts — adding the
+	// pass bookkeeping would double-count work and shift every report
+	// that predates the batch API.
+	Passes        int64
+	BatchedStarts int64
+	// Tree-kernel diagnostics: the deepest root-to-node descent observed
+	// and the number of subtree reattachments (the treap's rotations).
+	// Excluded from Total for the same reason — they measure shape, not
+	// profile operations.
+	TreeMaxDepth   int64
+	TreeRebalances int64
 }
 
 // Total returns the summed operation count.
@@ -27,14 +42,20 @@ func (s *Stats) Total() int64 {
 	return s.EarliestFit + s.Reserve + s.ReserveClamped + s.Release + s.FreeAt + s.MinFree + s.Resets
 }
 
-// String renders the counters compactly for reports. The clamped-reserve
-// count only appears when drains were actually reserved, so reports from
-// fault-free runs render exactly as before.
+// String renders the counters compactly for reports. The clamped-reserve,
+// batch-pass and tree-shape counts only appear when nonzero, so reports
+// from runs that never exercise those paths render exactly as before.
 func (s *Stats) String() string {
 	out := fmt.Sprintf("fit=%d reserve=%d release=%d freeAt=%d minFree=%d resets=%d",
 		s.EarliestFit, s.Reserve, s.Release, s.FreeAt, s.MinFree, s.Resets)
 	if s.ReserveClamped > 0 {
 		out += fmt.Sprintf(" clamped=%d", s.ReserveClamped)
+	}
+	if s.Passes > 0 || s.BatchedStarts > 0 {
+		out += fmt.Sprintf(" passes=%d batched=%d", s.Passes, s.BatchedStarts)
+	}
+	if s.TreeMaxDepth > 0 || s.TreeRebalances > 0 {
+		out += fmt.Sprintf(" treeDepth=%d rebalances=%d", s.TreeMaxDepth, s.TreeRebalances)
 	}
 	return out
 }

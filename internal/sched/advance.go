@@ -72,7 +72,9 @@ type ReservedStarter struct {
 	cal   *Calendar
 	// scratch is the reusable running+calendar profile (rebuilt per Pick;
 	// Reset recycles the step storage). Owned by one simulation goroutine.
-	scratch *profile.Profile
+	// factory selects its backend (default: the O(log S) tree kernel).
+	scratch profile.Kernel
+	factory ProfileFactory
 	// stats counts the scratch profile's kernel ops (telemetry; may be nil).
 	stats *profile.Stats
 }
@@ -96,6 +98,15 @@ func (s *ReservedStarter) Instrument(h telemetry.Hooks) {
 	s.stats = h.ProfileStats
 	if s.scratch != nil {
 		s.scratch.SetStats(s.stats)
+	}
+}
+
+// SetProfileFactory implements ProfileBacked for the wrapper's own
+// scratch profile and forwards the swap to the inner policy.
+func (s *ReservedStarter) SetProfileFactory(f ProfileFactory) {
+	s.factory, s.scratch = f, nil
+	if pb, ok := s.inner.(ProfileBacked); ok {
+		pb.SetProfileFactory(f)
 	}
 }
 
@@ -123,12 +134,7 @@ func (s *ReservedStarter) Pick(ordered []*job.Job, now int64, free int, running 
 	}
 	// Availability profile: running jobs by their estimates plus all
 	// future reservation windows.
-	if s.scratch == nil {
-		s.scratch = profile.New(m, now)
-		s.scratch.SetStats(s.stats)
-	} else {
-		s.scratch.Reset(m, now)
-	}
+	s.scratch = ensureScratch(s.scratch, s.factory, s.stats, m, now)
 	p := s.scratch
 	for _, r := range running {
 		end := r.EstEnd
@@ -176,7 +182,7 @@ func (s *ReservedStarter) Pick(ordered []*job.Job, now int64, free int, running 
 // the profile (running + calendar) must keep j.Nodes spare capacity
 // throughout the overlap. Jobs that merely do not fit the free nodes are
 // NOT filtered — that decision belongs to the inner policy.
-func (s *ReservedStarter) violatesCalendar(p *profile.Profile, j *job.Job, now int64) bool {
+func (s *ReservedStarter) violatesCalendar(p profile.Kernel, j *job.Job, now int64) bool {
 	jobEnd := now + j.Estimate
 	if jobEnd < now { // overflow
 		jobEnd = profile.Infinity

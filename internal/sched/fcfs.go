@@ -5,9 +5,16 @@ import "jobsched/internal/job"
 // FCFSOrder keeps waiting jobs in submission order (Section 5.1). It is
 // fair — a job's completion is independent of later submissions — and
 // needs no execution-time knowledge.
+//
+// The queue is a slice with a head index: jobs almost always leave from
+// the front (FCFS starts the head, backfilling starts a small prefix),
+// so head removal is O(1) and the backing array is compacted only when
+// the dead prefix dominates. With 100k+ queued jobs this turns a pass's
+// removals from quadratic memmove traffic into constant work.
 type FCFSOrder struct {
 	name  string
 	queue []*job.Job
+	head  int
 }
 
 // NewFCFSOrder returns a submission-order queue with the given display
@@ -19,6 +26,10 @@ func NewFCFSOrder(name string) *FCFSOrder {
 // Name implements Orderer.
 func (o *FCFSOrder) Name() string { return o.name }
 
+// StableUnderRemoval marks FCFS order as removal-stable: taking any job
+// out never changes the relative order of the rest.
+func (o *FCFSOrder) StableUnderRemoval() {}
+
 // Push implements Orderer. The engine delivers submissions in time order,
 // so appending preserves FCFS order.
 func (o *FCFSOrder) Push(j *job.Job, now int64) {
@@ -27,16 +38,33 @@ func (o *FCFSOrder) Push(j *job.Job, now int64) {
 
 // Remove implements Orderer.
 func (o *FCFSOrder) Remove(j *job.Job, now int64) {
-	for i, q := range o.queue {
-		if q == j {
-			o.queue = append(o.queue[:i], o.queue[i+1:]...)
+	if o.head < len(o.queue) && o.queue[o.head] == j {
+		o.queue[o.head] = nil // release for GC; the slot is dead
+		o.head++
+		if o.head == len(o.queue) {
+			o.queue, o.head = o.queue[:0], 0
+		} else if o.head > 64 && o.head > len(o.queue)/2 {
+			n := copy(o.queue, o.queue[o.head:])
+			clearTail := o.queue[n:]
+			for i := range clearTail {
+				clearTail[i] = nil
+			}
+			o.queue, o.head = o.queue[:n], 0
+		}
+		return
+	}
+	for i := o.head; i < len(o.queue); i++ {
+		if o.queue[i] == j {
+			copy(o.queue[i:], o.queue[i+1:])
+			o.queue[len(o.queue)-1] = nil
+			o.queue = o.queue[:len(o.queue)-1]
 			return
 		}
 	}
 }
 
 // Ordered implements Orderer.
-func (o *FCFSOrder) Ordered(now int64) []*job.Job { return o.queue }
+func (o *FCFSOrder) Ordered(now int64) []*job.Job { return o.queue[o.head:] }
 
 // Len implements Orderer.
-func (o *FCFSOrder) Len() int { return len(o.queue) }
+func (o *FCFSOrder) Len() int { return len(o.queue) - o.head }

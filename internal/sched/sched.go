@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"jobsched/internal/job"
+	"jobsched/internal/profile"
 	"jobsched/internal/sim"
 	"jobsched/internal/telemetry"
 )
@@ -46,6 +47,53 @@ type Starter interface {
 	Pick(ordered []*job.Job, now int64, free int, running []sim.Running, machineNodes int) *job.Job
 }
 
+// BatchStarter is implemented by start policies that can compute a whole
+// scheduling pass at once: PickMany returns, in start order, exactly the
+// jobs the engine's Pick-until-nil loop would have started at `now` —
+// same jobs, same order, same decisions — while sharing the expensive
+// per-pass state (the reservation profile rebuild) across the batch.
+// Composite uses it only when the order policy is order-stable under
+// removal (StableOrderer), because the equivalence argument assumes the
+// remaining queue keeps its relative order as started jobs leave it.
+type BatchStarter interface {
+	Starter
+	// PickMany returns the maximal set of jobs startable now, in the
+	// order Pick would have returned them. The returned slice is only
+	// valid until the next Pick/PickMany call.
+	PickMany(ordered []*job.Job, now int64, free int, running []sim.Running, machineNodes int) []*job.Job
+}
+
+// StableOrderer marks order policies whose Ordered sequence is invariant
+// under Remove: taking a started job out never reorders the remaining
+// jobs (FCFS, Garey&Graham). SMART and PSRS are not stable — removals
+// advance their replan trigger, which can rebuild the plan mid-pass — so
+// batched passes are disabled for them.
+type StableOrderer interface {
+	// StableUnderRemoval is a marker; implementations do nothing.
+	StableUnderRemoval()
+}
+
+// ProfileFactory constructs a scratch availability profile. The default
+// (nil) builds the O(log S) tree kernel; tests and benches inject
+// profile.New (the array kernel) or profile.NewReference (the
+// brute-force oracle) to pin backend-independence of whole schedules.
+type ProfileFactory func(nodes int, from int64) profile.Kernel
+
+// makeScratch applies the factory default.
+func makeScratch(f ProfileFactory, nodes int, from int64) profile.Kernel {
+	if f == nil {
+		return profile.NewTree(nodes, from)
+	}
+	return f(nodes, from)
+}
+
+// ProfileBacked is implemented by start policies that hold scratch
+// availability profiles and accept a backend swap. Swapping drops the
+// current scratch state (it is rebuilt per pass anyway).
+type ProfileBacked interface {
+	SetProfileFactory(f ProfileFactory)
+}
+
 // Composite combines an Orderer and a Starter into a sim.Scheduler.
 type Composite struct {
 	order   Orderer
@@ -54,6 +102,28 @@ type Composite struct {
 	// decider is the start policy's sim.DecisionExplainer view, resolved
 	// once at composition (nil when the policy cannot classify starts).
 	decider sim.DecisionExplainer
+	// batch is the start policy's BatchStarter view; set only when the
+	// order policy is also StableOrderer, the precondition for a batched
+	// pass being equivalent to the Pick-until-nil loop.
+	batch BatchStarter
+	// sequentialPasses forces the one-job-per-Startable path even when a
+	// batched pass is available (differential tests and A/B benches).
+	sequentialPasses bool
+	// passDone is the predicted post-start state of the last fruitful
+	// batched pass: when the engine's follow-up Startable call matches it
+	// exactly, the pass was complete and the confirmation walk is skipped
+	// (see Startable).
+	passDone passMemo
+}
+
+// passMemo is the state signature a completed batched pass predicts for
+// the engine's confirmation call.
+type passMemo struct {
+	valid      bool
+	now        int64
+	free       int
+	queueLen   int
+	runningLen int
 }
 
 var _ sim.Scheduler = (*Composite)(nil)
@@ -67,7 +137,25 @@ func Compose(order Orderer, start Starter, machineNodes int) *Composite {
 	}
 	c := &Composite{order: order, start: start, machine: machineNodes}
 	c.decider, _ = start.(sim.DecisionExplainer)
+	if _, stable := order.(StableOrderer); stable {
+		c.batch, _ = start.(BatchStarter)
+	}
 	return c
+}
+
+// SetSequentialPasses forces (true) or re-enables (false) the
+// one-job-per-Startable protocol. Batched and sequential passes start
+// identical jobs in identical order; the switch exists so equivalence
+// tests and benches can run both sides.
+func (c *Composite) SetSequentialPasses(on bool) { c.sequentialPasses = on }
+
+// SetProfileFactory swaps the start policy's scratch-profile backend
+// (no-op for policies without one). sched.New calls it with
+// Config.ProfileFactory; hand-composed schedulers may call it directly.
+func (c *Composite) SetProfileFactory(f ProfileFactory) {
+	if pb, ok := c.start.(ProfileBacked); ok {
+		pb.SetProfileFactory(f)
+	}
 }
 
 // Name returns "<order>/<starter>", e.g. "FCFS/EASY-Backfilling".
@@ -85,10 +173,42 @@ func (c *Composite) JobStarted(j *job.Job, now int64) { c.order.Remove(j, now) }
 // not react to completions (reservation state is rebuilt by the starters).
 func (c *Composite) JobFinished(j *job.Job, now int64) {}
 
-// Startable implements sim.Scheduler.
+// Startable implements sim.Scheduler. With a batch-capable start policy
+// over a removal-stable order, one call computes the whole pass; the
+// engine's follow-up call (after starting the batch) finds nothing new
+// and terminates the pass. Otherwise one job per call, as before.
 func (c *Composite) Startable(now int64, free int, running []sim.Running) []*job.Job {
 	if c.order.Len() == 0 || free <= 0 {
 		return nil
+	}
+	if c.batch != nil && !c.sequentialPasses {
+		ordered := c.order.Ordered(now)
+		// A batched pass is complete: PickMany returns every job startable
+		// at `now` (the property the batch equivalence tests pin), so the
+		// engine's follow-up Startable call — its loop-termination check —
+		// would walk the whole queue only to find nothing. If the state is
+		// exactly the one the last fruitful pass predicted (same instant,
+		// picked jobs moved from queue to running, their nodes debited),
+		// answer it without the walk. Any other intervening change (a
+		// same-instant outage, resubmit, or kill) breaks the signature and
+		// forces the full pass.
+		if m := &c.passDone; m.valid {
+			m.valid = false
+			if now == m.now && free == m.free &&
+				len(ordered) == m.queueLen && len(running) == m.runningLen {
+				return nil
+			}
+		}
+		picked := c.batch.PickMany(ordered, now, free, running, c.machine)
+		if len(picked) > 0 {
+			width := 0
+			for _, j := range picked {
+				width += j.Nodes
+			}
+			c.passDone = passMemo{valid: true, now: now, free: free - width,
+				queueLen: len(ordered) - len(picked), runningLen: len(running) + len(picked)}
+		}
+		return picked
 	}
 	j := c.start.Pick(c.order.Ordered(now), now, free, running, c.machine)
 	if j == nil {
@@ -192,6 +312,11 @@ type Config struct {
 	// starting jobs the drain would abort. Empty keeps every policy's
 	// historical behavior bit-for-bit.
 	Announced []sim.Failure
+	// ProfileFactory selects the scratch availability-profile backend for
+	// profile-backed start policies. Nil uses the O(log S) tree kernel;
+	// differential tests inject the array kernel or the brute-force
+	// reference to pin that whole schedules are backend-independent.
+	ProfileFactory ProfileFactory
 }
 
 func (c Config) withDefaults() Config {
@@ -221,6 +346,9 @@ func New(order OrderName, start StartName, cfg Config) (*Composite, error) {
 		c.Instrument(cfg.Hooks)
 		if len(cfg.Announced) > 0 {
 			c.Announce(cfg.Announced)
+		}
+		if cfg.ProfileFactory != nil {
+			c.SetProfileFactory(cfg.ProfileFactory)
 		}
 		return c, nil
 	}
@@ -258,6 +386,9 @@ func New(order OrderName, start StartName, cfg Config) (*Composite, error) {
 	c.Instrument(cfg.Hooks)
 	if len(cfg.Announced) > 0 {
 		c.Announce(cfg.Announced)
+	}
+	if cfg.ProfileFactory != nil {
+		c.SetProfileFactory(cfg.ProfileFactory)
 	}
 	return c, nil
 }

@@ -35,7 +35,7 @@ type FailureAware interface {
 // how much the profile thinks is free (overlap with running jobs shows up
 // as aborts at run time, not as a profile invariant violation). Windows
 // are clipped to [now, horizon).
-func reserveDrains(p *profile.Profile, announced []sim.Failure, now, horizon int64) {
+func reserveDrains(p profile.Kernel, announced []sim.Failure, now, horizon int64) {
 	for _, f := range announced {
 		end := job.AddSat(f.At, f.Duration)
 		if end <= now || f.At >= horizon {
@@ -65,26 +65,69 @@ func drainsPending(announced []sim.Failure, now int64) bool {
 	return false
 }
 
-// decided stashes the classification of the most recent successful Pick
-// so the engine (through Composite's sim.DecisionExplainer) can merge it
-// into the job's start event. Like the starters themselves, it is owned
-// by one simulation goroutine.
+// decided stashes the classifications of the current pass's successful
+// picks so the engine (through Composite's sim.DecisionExplainer) can
+// merge each one into its job's start event. A batched pass starts many
+// jobs before the engine asks for any decision, so the stash holds the
+// whole pass; every Pick/PickMany entry point resets it. Like the
+// starters themselves, it is owned by one simulation goroutine.
 type decided struct {
-	lastJob *job.Job
-	last    telemetry.Decision
+	jobs []*job.Job
+	decs []telemetry.Decision
+}
+
+func (d *decided) reset() {
+	d.jobs, d.decs = d.jobs[:0], d.decs[:0]
 }
 
 func (d *decided) stash(j *job.Job, dec telemetry.Decision) {
-	d.lastJob, d.last = j, dec
+	d.jobs = append(d.jobs, j)
+	d.decs = append(d.decs, dec)
 }
 
 // LastStartDecision implements sim.DecisionExplainer for the embedding
-// starter.
+// starter. Newest entry wins (a pass never picks the same job twice, but
+// the scan order keeps the semantics of the old single-slot stash).
 func (d *decided) LastStartDecision(j *job.Job) (telemetry.Decision, bool) {
-	if j != nil && j == d.lastJob {
-		return d.last, true
+	if j == nil {
+		return telemetry.Decision{}, false
+	}
+	for i := len(d.jobs) - 1; i >= 0; i-- {
+		if d.jobs[i] == j {
+			return d.decs[i], true
+		}
 	}
 	return telemetry.Decision{}, false
+}
+
+// removeJob deletes the first occurrence of j from q, preserving the
+// order of the remaining jobs (the batched passes simulate the order
+// policy's Remove on their private queue copy). Head removal — by far
+// the common case: backfilling mostly starts a queue prefix — is O(1) by
+// reslicing; only a mid-queue backfill pick pays the memmove, which
+// keeps deep-backlog (100k-queue) passes linear.
+func removeJob(q []*job.Job, j *job.Job) []*job.Job {
+	if len(q) > 0 && q[0] == j {
+		return q[1:]
+	}
+	for i, x := range q {
+		if x == j {
+			return append(q[:i], q[i+1:]...)
+		}
+	}
+	return q
+}
+
+// ensureScratch reuses (after Reset) or creates a starter's scratch
+// profile with the configured backend, attaching the op counters.
+func ensureScratch(scratch profile.Kernel, f ProfileFactory, stats *profile.Stats, nodes int, now int64) profile.Kernel {
+	if scratch == nil {
+		scratch = makeScratch(f, nodes, now)
+		scratch.SetStats(stats)
+		return scratch
+	}
+	scratch.Reset(nodes, now)
+	return scratch
 }
 
 // ListStarter implements the greedy list schedule of Section 5.1: the
@@ -92,6 +135,7 @@ func (d *decided) LastStartDecision(j *job.Job) (telemetry.Decision, bool) {
 // available; the head is never skipped.
 type ListStarter struct {
 	decided
+	picked []*job.Job
 }
 
 // NewListStarter returns the strict list start policy.
@@ -102,6 +146,7 @@ func (*ListStarter) Name() string { return string(StartList) }
 
 // Pick implements Starter.
 func (s *ListStarter) Pick(ordered []*job.Job, now int64, free int, running []sim.Running, machineNodes int) *job.Job {
+	s.reset()
 	if len(ordered) == 0 || ordered[0].Nodes > free {
 		return nil
 	}
@@ -111,6 +156,25 @@ func (s *ListStarter) Pick(ordered []*job.Job, now int64, free int, running []si
 	return ordered[0]
 }
 
+// PickMany implements BatchStarter: the startable prefix of the queue.
+// The head is never skipped, so the sequential loop starts consecutive
+// heads until one does not fit — exactly this prefix.
+func (s *ListStarter) PickMany(ordered []*job.Job, now int64, free int, running []sim.Running, machineNodes int) []*job.Job {
+	s.reset()
+	s.picked = s.picked[:0]
+	for _, j := range ordered {
+		if j.Nodes > free {
+			break
+		}
+		s.stash(j, telemetry.Decision{
+			Starter: s.Name(), Reason: telemetry.ReasonHeadOfQueue, Head: telemetry.None,
+		})
+		s.picked = append(s.picked, j)
+		free -= j.Nodes
+	}
+	return s.picked
+}
+
 // GareyGrahamStarter implements the classical list scheduling of Garey
 // and Graham [6] (Section 5.3): always start the next job for which
 // enough resources are available, scanning the whole queue. It needs no
@@ -118,6 +182,7 @@ func (s *ListStarter) Pick(ordered []*job.Job, now int64, free int, running []si
 // already starts anything that fits.
 type GareyGrahamStarter struct {
 	decided
+	picked []*job.Job
 }
 
 // NewGareyGrahamStarter returns the free-for-all start policy.
@@ -128,6 +193,7 @@ func (*GareyGrahamStarter) Name() string { return string(StartList) }
 
 // Pick implements Starter.
 func (s *GareyGrahamStarter) Pick(ordered []*job.Job, now int64, free int, running []sim.Running, machineNodes int) *job.Job {
+	s.reset()
 	for i, j := range ordered {
 		if j.Nodes <= free {
 			d := telemetry.Decision{
@@ -142,6 +208,43 @@ func (s *GareyGrahamStarter) Pick(ordered []*job.Job, now int64, free int, runni
 		}
 	}
 	return nil
+}
+
+// PickMany implements BatchStarter with a single forward scan. The
+// sequential loop rescans the remaining queue after every start, but free
+// nodes only shrink during a pass, so a job that did not fit earlier can
+// never fit later: the rescans would re-skip exactly the jobs this scan
+// already skipped. Depth counts the skipped (unstarted) jobs before each
+// pick — its index in the remaining queue — and Head is the first job
+// that failed to fit, which stays the remaining head for the whole pass.
+func (s *GareyGrahamStarter) PickMany(ordered []*job.Job, now int64, free int, running []sim.Running, machineNodes int) []*job.Job {
+	s.reset()
+	s.picked = s.picked[:0]
+	depth := 0
+	headID := telemetry.None
+	for _, j := range ordered {
+		if j.Nodes <= free {
+			d := telemetry.Decision{
+				Starter: s.Name(), Reason: telemetry.ReasonScanFit,
+				Depth: depth, Head: telemetry.None,
+			}
+			if depth > 0 {
+				d.Head = headID
+			}
+			s.stash(j, d)
+			s.picked = append(s.picked, j)
+			free -= j.Nodes
+			if free <= 0 {
+				break
+			}
+			continue
+		}
+		if depth == 0 {
+			headID = int64(j.ID)
+		}
+		depth++
+	}
+	return s.picked
 }
 
 // EASYStarter implements Lifka's aggressive backfilling [10] as described
@@ -168,8 +271,13 @@ type EASYStarter struct {
 	// out of future capacity.
 	announced []sim.Failure
 	// scratch is the reusable drain-aware availability profile (only
-	// allocated when windows are announced).
-	scratch *profile.Profile
+	// allocated when windows are announced); factory selects its backend.
+	scratch profile.Kernel
+	factory ProfileFactory
+	// picked/rem/runBuf are PickMany's reusable pass buffers.
+	picked []*job.Job
+	rem    []*job.Job
+	runBuf []sim.Running
 }
 
 // NewEASYStarter returns the EASY backfilling start policy.
@@ -190,14 +298,77 @@ func (s *EASYStarter) Instrument(h telemetry.Hooks) {
 // Announce implements FailureAware.
 func (s *EASYStarter) Announce(windows []sim.Failure) { s.announced = windows }
 
+// SetProfileFactory implements ProfileBacked.
+func (s *EASYStarter) SetProfileFactory(f ProfileFactory) { s.factory, s.scratch = f, nil }
+
 // Pick implements Starter.
 func (s *EASYStarter) Pick(ordered []*job.Job, now int64, free int, running []sim.Running, machineNodes int) *job.Job {
+	s.reset()
 	if len(ordered) == 0 {
 		return nil
 	}
 	if drainsPending(s.announced, now) {
-		return s.pickAroundDrains(ordered, now, free, running, machineNodes)
+		s.buildDrainProfile(now, running, machineNodes)
+		return s.drainPickOne(ordered, now, free)
 	}
+	return s.pickOne(ordered, now, free, running)
+}
+
+// PickMany implements BatchStarter as the literal sequential loop over a
+// private queue copy — except that the drain-aware path builds its
+// availability profile once per pass and extends it incrementally with
+// each started job, instead of rebuilding it per start. The incremental
+// Reserve equals the rebuild: a started job passed the profile fit check,
+// so within its reservation window the drains' zero-clamp was not active
+// and plain subtraction commutes with the clamped drain subtraction.
+func (s *EASYStarter) PickMany(ordered []*job.Job, now int64, free int, running []sim.Running, machineNodes int) []*job.Job {
+	s.reset()
+	s.picked = s.picked[:0]
+	if len(ordered) == 0 {
+		return nil
+	}
+	rem := append(s.rem[:0], ordered...)
+	if drainsPending(s.announced, now) {
+		s.buildDrainProfile(now, running, machineNodes)
+		p := s.scratch
+		p.BeginPass(now)
+		for len(rem) > 0 && free > 0 {
+			j := s.drainPickOne(rem, now, free)
+			if j == nil {
+				break
+			}
+			s.picked = append(s.picked, j)
+			free -= j.Nodes
+			end := job.AddSat(now, j.Estimate)
+			if end <= now {
+				end = now + 1
+			}
+			p.Reserve(j.Nodes, now, end)
+			rem = removeJob(rem, j)
+		}
+		p.CommitPass()
+		s.rem = rem[:0]
+		return s.picked
+	}
+	runLocal := append(s.runBuf[:0], running...)
+	for len(rem) > 0 && free > 0 {
+		j := s.pickOne(rem, now, free, runLocal)
+		if j == nil {
+			break
+		}
+		s.picked = append(s.picked, j)
+		free -= j.Nodes
+		runLocal = append(runLocal, sim.Running{Job: j, Start: now, EstEnd: job.AddSat(now, j.Estimate)})
+		rem = removeJob(rem, j)
+	}
+	s.rem, s.runBuf = rem[:0], runLocal[:0]
+	return s.picked
+}
+
+// pickOne is the fault-free EASY decision against an explicit running
+// list (Pick's body; PickMany feeds it the pass-local queue and running
+// copies).
+func (s *EASYStarter) pickOne(ordered []*job.Job, now int64, free int, running []sim.Running) *job.Job {
 	head := ordered[0]
 	if head.Nodes <= free {
 		s.stash(head, telemetry.Decision{
@@ -237,20 +408,11 @@ func (s *EASYStarter) Pick(ordered []*job.Job, now int64, free int, running []si
 	return nil
 }
 
-// pickAroundDrains is EASY's failure-aware variant, used while announced
-// maintenance windows are pending: future capacity is modeled as an
-// availability profile with the drains carved out, the shadow time is the
-// profile's earliest fit for the head (which therefore lands *after* any
-// drain the head cannot straddle), and a job only starts now if the
-// profile admits its whole estimated run from now — so nobody is started
-// straight into a known drain.
-func (s *EASYStarter) pickAroundDrains(ordered []*job.Job, now int64, free int, running []sim.Running, machineNodes int) *job.Job {
-	if s.scratch == nil {
-		s.scratch = profile.New(machineNodes, now)
-		s.scratch.SetStats(s.stats)
-	} else {
-		s.scratch.Reset(machineNodes, now)
-	}
+// buildDrainProfile rebuilds the scratch profile for EASY's failure-aware
+// variant: future capacity with the running jobs reserved and the
+// announced drains carved out.
+func (s *EASYStarter) buildDrainProfile(now int64, running []sim.Running, machineNodes int) {
+	s.scratch = ensureScratch(s.scratch, s.factory, s.stats, machineNodes, now)
 	p := s.scratch
 	for _, r := range running {
 		end := r.EstEnd
@@ -262,7 +424,17 @@ func (s *EASYStarter) pickAroundDrains(ordered []*job.Job, now int64, free int, 
 		p.Reserve(r.Job.Nodes, now, end)
 	}
 	reserveDrains(p, s.announced, now, profile.Infinity)
+}
 
+// drainPickOne is EASY's failure-aware decision, used while announced
+// maintenance windows are pending: future capacity is modeled by the
+// drain-aware scratch profile, the shadow time is the profile's earliest
+// fit for the head (which therefore lands *after* any drain the head
+// cannot straddle), and a job only starts now if the profile admits its
+// whole estimated run from now — so nobody is started straight into a
+// known drain.
+func (s *EASYStarter) drainPickOne(ordered []*job.Job, now int64, free int) *job.Job {
+	p := s.scratch
 	// fit: physically startable now (free nodes respect active outages)
 	// and the profile admits the whole estimated run starting now.
 	fit := func(j *job.Job) bool {
@@ -371,11 +543,17 @@ type ConservativeStarter struct {
 	// reservation state on every pass (compression); recycling the step
 	// storage via Reset removes the per-pass allocation storm. A Starter
 	// is owned by one simulation goroutine, so this is not a race.
-	scratch *profile.Profile
+	// factory selects the backend (default: the O(log S) tree kernel).
+	scratch profile.Kernel
+	factory ProfileFactory
 	// announced holds maintenance windows (FailureAware): each pass carves
 	// them out of the scratch profile, so reservations — and therefore
 	// start-now decisions — route around known drains.
 	announced []sim.Failure
+	// picked/rem/runBuf are PickMany's reusable pass buffers.
+	picked []*job.Job
+	rem    []*job.Job
+	runBuf []sim.Running
 }
 
 // NewConservativeStarter returns the exact conservative backfilling
@@ -407,8 +585,19 @@ func (s *ConservativeStarter) Instrument(h telemetry.Hooks) {
 	}
 }
 
+// SetProfileFactory implements ProfileBacked.
+func (s *ConservativeStarter) SetProfileFactory(f ProfileFactory) { s.factory, s.scratch = f, nil }
+
 // Pick implements Starter.
 func (s *ConservativeStarter) Pick(ordered []*job.Job, now int64, free int, running []sim.Running, machineNodes int) *job.Job {
+	s.reset()
+	return s.pickOne(ordered, now, free, running, machineNodes)
+}
+
+// pickOne is the full sequential decision (Pick's historical body): build
+// the reservation profile from scratch, walk the queue, start the first
+// job whose reservation is due now.
+func (s *ConservativeStarter) pickOne(ordered []*job.Job, now int64, free int, running []sim.Running, machineNodes int) *job.Job {
 	if len(ordered) == 0 || free <= 0 {
 		return nil
 	}
@@ -448,12 +637,7 @@ func (s *ConservativeStarter) Pick(ordered []*job.Job, now int64, free int, runn
 		horizon = job.AddSat(now, maxEst)
 	}
 
-	if s.scratch == nil {
-		s.scratch = profile.New(machineNodes, now)
-		s.scratch.SetStats(s.stats)
-	} else {
-		s.scratch.Reset(machineNodes, now)
-	}
+	s.scratch = ensureScratch(s.scratch, s.factory, s.stats, machineNodes, now)
 	p := s.scratch
 	for _, r := range running {
 		end := r.EstEnd
@@ -510,4 +694,124 @@ func (s *ConservativeStarter) Pick(ordered []*job.Job, now int64, free int, runn
 		}
 	}
 	return nil
+}
+
+// PickMany implements BatchStarter. Exact mode runs the whole pass as
+// one continued profile walk (pickManyExact); fast mode restarts the
+// sequential decision per start, because its skip horizon depends on the
+// maximum estimate over the *remaining* queue and so legitimately moves
+// as jobs leave it.
+func (s *ConservativeStarter) PickMany(ordered []*job.Job, now int64, free int, running []sim.Running, machineNodes int) []*job.Job {
+	s.reset()
+	s.picked = s.picked[:0]
+	if !s.fast {
+		return s.pickManyExact(ordered, now, free, running, machineNodes)
+	}
+	rem := append(s.rem[:0], ordered...)
+	runLocal := append(s.runBuf[:0], running...)
+	for len(rem) > 0 && free > 0 {
+		j := s.pickOne(rem, now, free, runLocal, machineNodes)
+		if j == nil {
+			break
+		}
+		s.picked = append(s.picked, j)
+		free -= j.Nodes
+		runLocal = append(runLocal, sim.Running{Job: j, Start: now, EstEnd: job.AddSat(now, j.Estimate)})
+		rem = removeJob(rem, j)
+	}
+	s.rem, s.runBuf = rem[:0], runLocal[:0]
+	return s.picked
+}
+
+// pickManyExact computes an exact conservative pass with ONE profile
+// build and ONE queue walk, where the sequential protocol rebuilds and
+// rewalks after every start. Equivalence: when a job starts, the next
+// sequential rebuild differs from the current profile only by that job's
+// running reservation, which is added here immediately; re-walked
+// unstarted jobs keep their placements because (a) the started job's fit
+// check passed *on top of* their reservations, so each old window stays
+// feasible, and (b) capacity only shrank, so no earlier fit can open.
+// The depth budget counts unstarted jobs only — each sequential walk
+// indexes maxDepth jobs of its remaining (started-jobs-removed) queue.
+func (s *ConservativeStarter) pickManyExact(ordered []*job.Job, now int64, free int, running []sim.Running, machineNodes int) []*job.Job {
+	if len(ordered) == 0 || free <= 0 {
+		return s.picked
+	}
+	// Same fast path as the sequential walk: nothing fits, nothing to do
+	// (and no backfill event — the sequential pass never walks either).
+	fits := false
+	for _, j := range ordered {
+		if j.Nodes <= free {
+			fits = true
+			break
+		}
+	}
+	if !fits {
+		return s.picked
+	}
+
+	s.scratch = ensureScratch(s.scratch, s.factory, s.stats, machineNodes, now)
+	p := s.scratch
+	for _, r := range running {
+		end := r.EstEnd
+		if end <= now {
+			end = now + 1
+		}
+		p.Reserve(r.Job.Nodes, now, end)
+	}
+	reserveDrains(p, s.announced, now, profile.Infinity)
+
+	p.BeginPass(now)
+	walked := 0 // unstarted jobs examined: the remaining-queue index
+	headID := telemetry.None
+	for _, j := range ordered {
+		if free <= 0 {
+			break // the sequential protocol stops passing at zero free
+		}
+		if s.maxDepth > 0 && walked >= s.maxDepth {
+			break
+		}
+		t := p.EarliestFit(j.Nodes, j.Estimate, now)
+		if t == now && j.Nodes <= free {
+			d := telemetry.Decision{
+				Starter: s.Name(), Reason: telemetry.ReasonReservationDueNow,
+				Depth: walked, Head: telemetry.None,
+			}
+			if walked > 0 {
+				d.Head = headID
+			}
+			s.stash(j, d)
+			s.picked = append(s.picked, j)
+			free -= j.Nodes
+			// The reservation the next sequential rebuild would hold for
+			// this now-running job. Its fit check passed on the drained
+			// profile, so the plain Reserve commutes with the drains'
+			// zero-clamp inside the window.
+			end := job.AddSat(now, j.Estimate)
+			if end <= now {
+				end = now + 1
+			}
+			p.Reserve(j.Nodes, now, end)
+			continue
+		}
+		if walked == 0 {
+			// First unstarted job: the remaining head for the rest of the
+			// pass (capacity only shrinks, so it cannot start later).
+			headID = int64(j.ID)
+			if s.rec != nil && len(ordered)-len(s.picked) > 1 {
+				s.rec.Record(telemetry.Event{Type: telemetry.EventBackfill, At: now,
+					Job: telemetry.None, Starter: s.Name(), Head: int64(j.ID)})
+			}
+		}
+		walked++
+		if t >= profile.Infinity {
+			continue // never placeable: holds no reservation
+		}
+		end := job.AddSat(t, j.Estimate)
+		if end > t {
+			p.Reserve(j.Nodes, t, end)
+		}
+	}
+	p.CommitPass()
+	return s.picked
 }

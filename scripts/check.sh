@@ -25,8 +25,10 @@
 #                order-dependent races the single pass can miss
 #   fuzz-smoke   fixed-budget runs of the fuzz targets: the SWF reader
 #                (trace.FuzzReadSWF), the availability-profile
-#                differential oracle (profile.FuzzProfileOps) and the
-#                fault-schedule generator/simulator invariants
+#                differential oracle (profile.FuzzProfileOps), the tree
+#                kernel's structural invariants under the same oracle
+#                (profile.FuzzProfileTree) and the fault-schedule
+#                generator/simulator invariants
 #                (faults.FuzzFailureSchedule). A short deterministic
 #                budget — regressions on the seeded corpus and shallow
 #                mutations fail here; deep exploration is for manual
@@ -56,10 +58,11 @@ run test-race go test -race ./...
 run race-focus go test -race -count=2 ./internal/sim ./internal/eval ./internal/faults
 run fuzz-smoke go test -run='^$' -fuzz='^FuzzReadSWF$' -fuzztime=500x ./internal/trace
 run fuzz-smoke go test -run='^$' -fuzz='^FuzzProfileOps$' -fuzztime=500x ./internal/profile
+run fuzz-smoke go test -run='^$' -fuzz='^FuzzProfileTree$' -fuzztime=500x ./internal/profile
 run fuzz-smoke go test -run='^$' -fuzz='^FuzzFailureSchedule$' -fuzztime=500x ./internal/faults
 
 step=bench-smoke
 echo "==> bench-smoke: go run ./cmd/bench -quick"
-go run ./cmd/bench -quick -out "" -out2 "" >/dev/null
+go run ./cmd/bench -quick -out "" -out2 "" -out3 "" >/dev/null
 
 echo "OK: all tier-1 checks passed"
