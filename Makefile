@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet lint fuzz-smoke race bench-smoke bench
+.PHONY: check build test vet lint fuzz-smoke race bench-smoke bench stream-smoke
 
 # Tier-1 gate: vet + lint + lint-budget + build + race-enabled tests +
 # fuzz smoke + bench smoke (see scripts/check.sh for the step list).
@@ -36,8 +36,13 @@ race:
 
 # Perf-harness smoke run (tiny benchtime, no files written).
 bench-smoke:
-	$(GO) run ./cmd/bench -quick -out "" -out2 "" -out3 ""
+	$(GO) run ./cmd/bench -quick -out "" -out2 "" -out3 "" -out4 ""
 
-# Full perf harness: regenerates BENCH_1/2/3.json (see DESIGN.md §7, §11).
+# Full perf harness: regenerates BENCH_1/2/3/4.json (see DESIGN.md §7, §11, §12).
 bench:
 	$(GO) run ./cmd/bench
+
+# Million-job streaming run under a GOMEMLIMIT ceiling + 2-shard merge
+# cross-check against single-process output (see DESIGN.md §12).
+stream-smoke:
+	./scripts/stream-smoke.sh

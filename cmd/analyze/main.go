@@ -9,9 +9,12 @@
 //	analyze -workload ctc -jobs 5000 -simulate -order SMART-FFIA -start EASY-Backfilling
 //	analyze -workload random -simulate -gantt
 //	analyze -explain 42 -trace run.jsonl   # why did job 42 wait? ("-" = stdin)
+//	analyze -allocs allocs.jsonl           # replay a streaming spill file
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -23,6 +26,7 @@ import (
 	"jobsched/internal/core"
 	"jobsched/internal/job"
 	"jobsched/internal/sched"
+	"jobsched/internal/sim"
 	"jobsched/internal/stats"
 	"jobsched/internal/telemetry"
 	"jobsched/internal/workload"
@@ -43,8 +47,16 @@ func main() {
 		explain   = flag.Int64("explain", -1, "explain this job ID from a decision trace (-trace)")
 		lost      = flag.Bool("lost", false, "summarize failure aborts and budget-exhausted jobs from a decision trace (-trace)")
 		traceFile = flag.String("trace", "", "JSONL decision trace for -explain/-lost (\"-\" = stdin)")
+		allocs    = flag.String("allocs", "", "replay a streaming allocation spill (simulate -stream -spill) and report its metrics (\"-\" = stdin)")
 	)
 	flag.Parse()
+	if *allocs != "" {
+		if err := runAllocs(*allocs, *nodes); err != nil {
+			fmt.Fprintln(os.Stderr, "analyze:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *explain >= 0 {
 		if err := runExplain(*explain, *traceFile); err != nil {
 			fmt.Fprintln(os.Stderr, "analyze:", err)
@@ -95,6 +107,56 @@ func readTrace(traceFile string) ([]telemetry.Event, error) {
 		r = f
 	}
 	return telemetry.ReadJSONL(r)
+}
+
+// runAllocs replays an allocation spill file (one sim.AllocRecord per
+// line, written by `simulate -stream -spill`) through the aggregate
+// collector — the bounded-memory run's metrics, recomputed offline.
+func runAllocs(path string, nodes int) error {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	agg := &sim.Aggregates{}
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec sim.AllocRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return fmt.Errorf("%s: line %d: %w", path, line, err)
+		}
+		if err := agg.Emit(rec.Allocation()); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	util := 0.0
+	if agg.Makespan > 0 && nodes > 0 {
+		util = agg.UsedArea / (float64(agg.Makespan) * float64(nodes))
+	}
+	fmt.Printf("== allocation spill (%d records) ==\n", agg.Jobs)
+	fmt.Printf("completed jobs:             %d (%d killed at estimate, %d aborted attempts)\n",
+		agg.Completed, agg.Killed, agg.AbortedAttempts)
+	fmt.Printf("avg response time:          %.4g s\n", agg.AvgResponseTime())
+	fmt.Printf("avg weighted response time: %.4g node-s^2\n", agg.AvgWeightedResponseTime())
+	fmt.Printf("avg wait time:              %.4g s\n", agg.AvgWaitTime())
+	fmt.Printf("makespan:                   %d s\n", agg.Makespan)
+	fmt.Printf("utilization (%d nodes):    %.2f%%\n", nodes, util*100)
+	return nil
 }
 
 // runLost is the failure-accounting mode: read a decision trace and

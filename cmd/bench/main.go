@@ -33,18 +33,23 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/debug"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"jobsched/internal/eval"
 	"jobsched/internal/job"
+	"jobsched/internal/objective"
 	"jobsched/internal/profile"
 	"jobsched/internal/sched"
 	"jobsched/internal/sim"
@@ -109,6 +114,7 @@ func main() {
 	out := flag.String("out", "BENCH_1.json", "output path; empty writes the JSON to stdout only")
 	out2 := flag.String("out2", "BENCH_2.json", "telemetry-overhead report path; empty writes to stdout only")
 	out3 := flag.String("out3", "BENCH_3.json", "deep-backlog report path; empty writes to stdout only")
+	out4 := flag.String("out4", "BENCH_4.json", "deep-stream report path; empty writes to stdout only")
 	flag.Parse()
 
 	testing.Init()
@@ -152,6 +158,18 @@ func main() {
 	}
 	rep3.Entries = deepEntries(*quick)
 	emit(rep3, *out3)
+
+	rep4 := &Report{
+		Schema:     "jobsched-bench/v4-deep-stream",
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Note: "deep-stream family (million/10M-job runs): before = materialize the " +
+			"whole workload and retain the full schedule (slice path, live), " +
+			"after = streaming arrival source + aggregate sink under a hard " +
+			"memory limit; peak-heap metrics carry the memory story",
+	}
+	rep4.Entries = streamEntries(*quick)
+	emit(rep4, *out4)
 
 	if *quick {
 		// Smoke gate: the nil-recorder path must stay within the noise
@@ -612,6 +630,215 @@ func deepEntries(quick bool) []Entry {
 	}
 
 	return append([]Entry{fitEntry, passEntry}, schedEntries...)
+}
+
+// peakWatch samples the heap in the background and records the largest
+// observed HeapAlloc — the memory side of the streaming before/after
+// story. GC once before starting so the previous side's garbage does
+// not inflate the baseline.
+func peakWatch(peak *uint64) (stop func()) {
+	runtime.GC()
+	var p atomic.Uint64
+	sample := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		for {
+			old := p.Load()
+			if ms.HeapAlloc <= old || p.CompareAndSwap(old, ms.HeapAlloc) {
+				return
+			}
+		}
+	}
+	sample()
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(2 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				sample()
+			case <-quit:
+				sample()
+				return
+			}
+		}
+	}()
+	return func() {
+		close(quit)
+		<-done
+		if v := p.Load(); v > *peak {
+			*peak = v
+		}
+	}
+}
+
+// streamEntries is the BENCH_4.json family: million-to-10M-job runs
+// where the before side materializes the whole workload and retains the
+// full schedule, and the after side streams arrivals from a generator
+// and sinks allocations into constant-size aggregates — under a hard
+// runtime/debug.SetMemoryLimit ceiling, so a regression back to O(jobs)
+// memory aborts the bench instead of merely looking slow. The two sides
+// must agree on the metrics: the engine guarantees stream ≡ slice.
+func streamEntries(quick bool) []Entry {
+	prev := flag.Lookup("test.benchtime").Value.String()
+	flag.Set("test.benchtime", "1x")
+	defer flag.Set("test.benchtime", prev)
+
+	jobs := 10_000_000
+	ingest := 1_000_000
+	if quick {
+		jobs, ingest = 30_000, 50_000
+	}
+	const memLimit = int64(256 << 20)
+	m := sim.Machine{Nodes: 256}
+	cfg := workload.CalibratedStreamConfig(jobs, 256, 0.7, 11)
+	newAlg := func() sim.Scheduler {
+		alg, err := sched.New(sched.OrderFCFS, sched.StartEASY, sched.Config{MachineNodes: 256})
+		if err != nil {
+			fatal(err)
+		}
+		return alg
+	}
+
+	// End-to-end simulation: slice path vs streaming path.
+	var beforePeak, afterPeak uint64
+	var beforeResp, beforeWgt, afterResp, afterWgt float64
+	var beforeMk, afterMk int64
+	before := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			stop := peakWatch(&beforePeak)
+			js := workload.Randomized(cfg)
+			res, err := sim.Run(m, js, newAlg(), sim.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			beforeResp = objective.AvgResponseTime{}.Eval(res.Schedule)
+			beforeWgt = objective.AvgWeightedResponseTime{}.Eval(res.Schedule)
+			beforeMk = res.Schedule.Makespan()
+			stop()
+		}
+	})
+	after := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			stop := peakWatch(&afterPeak)
+			prevLimit := debug.SetMemoryLimit(memLimit)
+			src, err := workload.NewStreamer(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			agg := &sim.Aggregates{}
+			_, err = sim.RunStream(m, src, newAlg(), sim.Options{Sink: agg})
+			debug.SetMemoryLimit(prevLimit)
+			if err != nil {
+				b.Fatal(err)
+			}
+			afterResp = agg.AvgResponseTime()
+			afterWgt = agg.AvgWeightedResponseTime()
+			afterMk = agg.Makespan
+			stop()
+		}
+	})
+	// The streaming run must reproduce the slice run bit-for-bit on the
+	// exactly-summed metrics (response is an integer sum on both sides)
+	// and to rounding on the float-accumulated weighted sum.
+	if afterResp != beforeResp || afterMk != beforeMk {
+		fatal(fmt.Errorf("deep stream: streamed avg response %v / makespan %d != slice %v / %d (schedule changed!)",
+			afterResp, afterMk, beforeResp, beforeMk))
+	}
+	if beforeWgt != 0 && math.Abs(afterWgt-beforeWgt)/beforeWgt > 1e-9 {
+		fatal(fmt.Errorf("deep stream: weighted response drifted: %v vs %v", afterWgt, beforeWgt))
+	}
+	simEntry := entry(fmt.Sprintf("sim/StreamEndToEnd/jobs=%d", jobs),
+		"slice-path-live", before, after)
+	simEntry.Metrics = map[string]float64{
+		"peak_heap_before_mb": float64(beforePeak) / (1 << 20),
+		"peak_heap_after_mb":  float64(afterPeak) / (1 << 20),
+		"mem_limit_mb":        float64(memLimit) / (1 << 20),
+		"avg_response_s":      afterResp,
+		"makespan_s":          float64(afterMk),
+	}
+	if afterPeak > 0 {
+		simEntry.Metrics["heap_shrink_factor"] = float64(beforePeak) / float64(afterPeak)
+	}
+
+	// SWF ingestion: whole-file slice load vs incremental Scanner.
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf, trace.Header{Computer: "bench", MaxNodes: 256})
+	if err != nil {
+		fatal(err)
+	}
+	gen, err := workload.NewStreamer(workload.CalibratedStreamConfig(ingest, 256, 0.7, 12))
+	if err != nil {
+		fatal(err)
+	}
+	for {
+		j, err := gen.Next()
+		if err != nil {
+			fatal(err)
+		}
+		if j == nil {
+			break
+		}
+		if err := w.WriteJob(j); err != nil {
+			fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+	data := buf.Bytes()
+
+	var readPeak, scanPeak uint64
+	var readJobs, scanJobs int
+	readBench := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			stop := peakWatch(&readPeak)
+			_, js, err := trace.Read(bytes.NewReader(data))
+			if err != nil {
+				b.Fatal(err)
+			}
+			readJobs = len(js)
+			stop()
+		}
+	})
+	scanBench := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			stop := peakWatch(&scanPeak)
+			sc := trace.NewScanner(bytes.NewReader(data), trace.ReadOptions{})
+			n := 0
+			for {
+				j, err := sc.Next()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if j == nil {
+					break
+				}
+				n++
+			}
+			scanJobs = n
+			stop()
+		}
+	})
+	if readJobs != scanJobs {
+		fatal(fmt.Errorf("deep stream: scanner yielded %d jobs, slice read %d", scanJobs, readJobs))
+	}
+	ingestEntry := entry(fmt.Sprintf("trace/IngestSWF/jobs=%d", ingest),
+		"slice-read-live", readBench, scanBench)
+	ingestEntry.Metrics = map[string]float64{
+		"swf_bytes":           float64(len(data)),
+		"peak_heap_before_mb": float64(readPeak) / (1 << 20),
+		"peak_heap_after_mb":  float64(scanPeak) / (1 << 20),
+	}
+
+	return []Entry{simEntry, ingestEntry}
 }
 
 // recorded wraps seed-commit measurements in a BenchmarkResult so entry()

@@ -35,47 +35,86 @@ import (
 )
 
 // robustness collects the hardening knobs of a grid run: crash-safe
-// journaling with resume, error containment, the per-cell watchdog, and
-// the failure-injection flags.
+// journaling with resume, error containment, the per-cell watchdog,
+// sharding, and the failure-injection flags.
 type robustness struct {
 	journalPath string
 	resume      bool
 	keepGoing   bool
 	cellWall    time.Duration
+	shards      int
+	shard       int
 	fo          *cli.FaultOptions
 }
 
 func main() {
 	var (
 		full     = flag.Bool("full", false, "paper-scale job counts (slower)")
+		scale    = flag.Int("scale", 0, "workload scale divisor (0 = default: 8, or 1 with -full); larger is faster")
 		table    = flag.Int("table", 0, "only this table (1-8); 0 = all")
 		csvDir   = flag.String("csv", "", "also write per-table CSV series (figures) to this directory")
 		nodes    = flag.Int("nodes", 256, "batch partition size")
 		seed     = flag.Int64("seed", 1, "workload generation seed")
 		traceDir = flag.String("trace", "", "write one JSONL decision trace per grid cell to this directory (tables 3-6; see analyze -explain)")
 		counters = flag.Bool("counters", false, "print per-cell run counters after each grid (tables 3-6)")
+		merge    = flag.String("merge", "", "merge the shard journals given as positional arguments into this file, then exit")
 		rb       robustness
 	)
 	flag.StringVar(&rb.journalPath, "journal", "", "crash-safe cell journal (JSONL); completed cells survive interruption")
 	flag.BoolVar(&rb.resume, "resume", false, "restore completed cells from -journal instead of re-simulating them")
 	flag.BoolVar(&rb.keepGoing, "keepgoing", false, "record a failing cell's error and continue instead of aborting the run")
 	flag.DurationVar(&rb.cellWall, "cellwall", 0, "per-cell wall-clock budget (e.g. 5m); overruns become cell errors (0 = off)")
+	flag.IntVar(&rb.shards, "shards", 1, "split every grid across this many worker processes; each simulates only the cells it owns")
+	flag.IntVar(&rb.shard, "shard", 0, "this worker's shard index in [0, shards); requires -journal so the owned cells are recorded for -merge")
 	rb.fo = cli.AddFaultFlags(flag.CommandLine)
 	flag.Parse()
+	if *merge != "" {
+		if err := runMerge(*merge, flag.Args()); err != nil {
+			fmt.Fprintln(os.Stderr, "evaluate:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if rb.resume && rb.journalPath == "" {
 		fmt.Fprintln(os.Stderr, "evaluate: -resume needs -journal")
 		os.Exit(1)
 	}
-	if err := run(*full, *table, *csvDir, *nodes, *seed, *traceDir, *counters, rb); err != nil {
+	if rb.shards > 1 && rb.journalPath == "" {
+		fmt.Fprintln(os.Stderr, "evaluate: -shards needs -journal (the owned cells must be recorded for -merge)")
+		os.Exit(1)
+	}
+	if err := run(*full, *scale, *table, *csvDir, *nodes, *seed, *traceDir, *counters, rb); err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(full bool, table int, csvDir string, nodes int, seed int64, traceDir string, counters bool, rb robustness) error {
-	scale := 8
-	if full {
-		scale = 1
+// runMerge unions shard journals (refusing mixed fingerprints) into one
+// file a final `evaluate -journal merged -resume` can render from
+// without re-simulating anything.
+func runMerge(out string, srcs []string) error {
+	if len(srcs) == 0 {
+		return fmt.Errorf("-merge needs the shard journal paths as arguments")
+	}
+	if err := eval.MergeJournals(out, srcs...); err != nil {
+		return err
+	}
+	j, err := eval.OpenJournal(out, true)
+	if err != nil {
+		return err
+	}
+	defer j.Close()
+	fmt.Fprintf(os.Stderr, "evaluate: merged %d journals into %s (%d cells)\n",
+		len(srcs), out, j.Completed())
+	return nil
+}
+
+func run(full bool, scale, table int, csvDir string, nodes int, seed int64, traceDir string, counters bool, rb robustness) error {
+	if scale <= 0 {
+		scale = 8
+		if full {
+			scale = 1
+		}
 	}
 
 	// ^C aborts the run cleanly between event batches: the engine polls
@@ -145,13 +184,45 @@ func run(full bool, table int, csvDir string, nodes int, seed int64, traceDir st
 		Interrupt:        interrupted.Load,
 		Journal:          journal,
 		Resubmit:         rb.fo.Resubmit(),
+		ShardCount:       rb.shards,
+		ShardIndex:       rb.shard,
+	}
+	if journal != nil {
+		// Stamp the journal with this evaluation's fingerprint: a -resume
+		// (or a -merge input) recorded under different workloads, options
+		// or fault flags is refused instead of serving stale cells. The
+		// workloads are fully determined by (nodes, seed, scale), and the
+		// per-table fault plans by the fault flags, so hashing those
+		// inputs covers every cell value; sharding and resume knobs are
+		// deliberately excluded so shards stamp identically.
+		fp := eval.NewFingerprint()
+		fp.Machine(m)
+		fp.Int(int64(scale))
+		fp.Int(seed)
+		fp.Options(gridOpts)
+		fp.Float(rb.fo.MTBF)
+		fp.Float(rb.fo.MTTR)
+		fp.Float(rb.fo.FailShape)
+		fp.Float(rb.fo.RepairShape)
+		fp.Int(int64(rb.fo.FailNodes))
+		fp.Float(rb.fo.MaxDownFrac)
+		fp.Int(rb.fo.Seed)
+		fp.String(rb.fo.Maintenance)
+		if err := journal.Stamp(fp.Sum()); err != nil {
+			return err
+		}
+	}
+	if rb.shards > 1 {
+		fmt.Fprintf(os.Stderr, "evaluate: shard %d of %d — foreign cells are skipped; merge the shard journals to render full tables\n",
+			rb.shard, rb.shards)
 	}
 	emit := func(name string, g *eval.Grid) error {
 		if err := g.Render(os.Stdout); err != nil {
 			return err
 		}
 		for _, c := range g.Cells {
-			if c.Err != "" {
+			// Foreign cells of a sharded run are markers, not failures.
+			if c.Err != "" && !strings.Contains(c.Err, "owned by shard") {
 				fmt.Fprintf(os.Stderr, "evaluate: cell %s/%s failed: %s\n",
 					c.Order, c.Start, firstLine(c.Err))
 			}

@@ -6,6 +6,11 @@
 //	genworkload -kind ctc -jobs 79164 -out ctc.swf
 //	genworkload -kind prob -jobs 50000 -out prob.swf
 //	genworkload -kind random -jobs 50000 -out random.swf
+//	genworkload -kind stream -jobs 10000000 -load 0.7 -out huge.swf
+//
+// The stream kind writes the calibrated randomized workload one record
+// at a time under constant memory — arbitrarily large traces for the
+// streaming simulation path (simulate -stream).
 package main
 
 import (
@@ -20,16 +25,77 @@ import (
 
 func main() {
 	var (
-		kind = flag.String("kind", "ctc", "workload kind: ctc, prob, random")
-		n    = flag.Int("jobs", 0, "number of jobs (0 = paper scale)")
-		out  = flag.String("out", "", "output file (default stdout)")
-		seed = flag.Int64("seed", 1, "generation seed")
+		kind  = flag.String("kind", "ctc", "workload kind: ctc, prob, random, stream")
+		n     = flag.Int("jobs", 0, "number of jobs (0 = paper scale)")
+		out   = flag.String("out", "", "output file (default stdout)")
+		seed  = flag.Int64("seed", 1, "generation seed")
+		nodes = flag.Int("nodes", 256, "machine size for load calibration (kind=stream)")
+		load  = flag.Float64("load", 0.7, "target offered load (kind=stream)")
 	)
 	flag.Parse()
-	if err := run(*kind, *n, *out, *seed); err != nil {
+	var err error
+	if *kind == "stream" {
+		err = runStream(*n, *nodes, *load, *out, *seed)
+	} else {
+		err = run(*kind, *n, *out, *seed)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "genworkload:", err)
 		os.Exit(1)
 	}
+}
+
+// runStream generates and writes jobs one at a time: memory stays flat
+// no matter how many records are requested.
+func runStream(n, nodes int, load float64, out string, seed int64) error {
+	if n <= 0 {
+		return fmt.Errorf("stream kind needs -jobs")
+	}
+	s, err := workload.NewStreamer(workload.CalibratedStreamConfig(n, nodes, load, seed))
+	if err != nil {
+		return err
+	}
+	f := os.Stdout
+	if out != "" {
+		f, err = os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+	}
+	w, err := trace.NewWriter(f, trace.Header{
+		Computer: "randomized model (streaming)",
+		MaxNodes: nodes,
+		Note:     fmt.Sprintf("calibrated to offered load %.2f on %d nodes", load, nodes),
+	})
+	if err != nil {
+		return err
+	}
+	var span int64
+	for {
+		j, err := s.Next()
+		if err != nil {
+			return err
+		}
+		if j == nil {
+			break
+		}
+		span = j.Submit
+		if err := w.WriteJob(j); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if out != "" {
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "genworkload: %d jobs streamed, span %d s, target load %.2f on %d nodes\n",
+		w.Jobs(), span, load, nodes)
+	return nil
 }
 
 func run(kind string, n int, out string, seed int64) error {

@@ -1,0 +1,86 @@
+package cli
+
+import (
+	"fmt"
+	"os"
+
+	"jobsched/internal/job"
+	"jobsched/internal/sim"
+	"jobsched/internal/trace"
+	"jobsched/internal/workload"
+)
+
+// StreamSource is a sim.Source with the command-line conveniences the
+// streaming commands share: the width filter applied on the fly (the
+// paper's preprocessing, Section 6.1) and a removed-job count for the
+// final report.
+type StreamSource struct {
+	src     sim.Source
+	max     int
+	removed int
+	closer  *os.File
+}
+
+// Next implements sim.Source, skipping jobs wider than the machine.
+func (s *StreamSource) Next() (*job.Job, error) {
+	for {
+		j, err := s.src.Next()
+		if err != nil || j == nil {
+			return j, err
+		}
+		if s.max > 0 && j.Nodes > s.max {
+			s.removed++
+			continue
+		}
+		return j, nil
+	}
+}
+
+// Removed returns the number of jobs skipped as wider than the machine.
+func (s *StreamSource) Removed() int { return s.removed }
+
+// Close releases the underlying file, if any.
+func (s *StreamSource) Close() error {
+	if s.closer == nil {
+		return nil
+	}
+	return s.closer.Close()
+}
+
+// OpenSource builds a streaming arrival source for a command. Supported
+// kinds: "swf" (incremental trace.Scanner over opt.Path — the file must
+// be submit-sorted, which archive traces are) and "stream" (the
+// calibrated synthetic generator: opt.Jobs jobs at the target offered
+// load on opt.MachineNodes nodes). Call Close when done.
+func OpenSource(opt LoadOptions, load float64) (*StreamSource, error) {
+	if opt.MachineNodes <= 0 {
+		return nil, fmt.Errorf("cli: machine nodes must be positive")
+	}
+	switch opt.Kind {
+	case "swf":
+		if opt.Path == "" {
+			return nil, fmt.Errorf("cli: swf workload needs a file path")
+		}
+		f, err := os.Open(opt.Path)
+		if err != nil {
+			return nil, err
+		}
+		return &StreamSource{
+			src:    trace.NewScanner(f, trace.ReadOptions{}),
+			max:    opt.MachineNodes,
+			closer: f,
+		}, nil
+	case "stream":
+		if opt.Jobs <= 0 {
+			return nil, fmt.Errorf("cli: stream workload needs a job count")
+		}
+		st, err := workload.NewStreamer(workload.CalibratedStreamConfig(
+			opt.Jobs, opt.MachineNodes, load, opt.Seed))
+		if err != nil {
+			return nil, err
+		}
+		return &StreamSource{src: st, max: opt.MachineNodes}, nil
+	default:
+		return nil, fmt.Errorf("cli: workload kind %q has no streaming source (use swf or stream)", opt.Kind)
+	}
+}

@@ -162,6 +162,18 @@ type Options struct {
 	// workload and options, a resumed run renders byte-identically to an
 	// uninterrupted one.
 	Journal *Journal
+	// ShardCount/ShardIndex split the grid across worker processes:
+	// with ShardCount > 1, only cells whose enumeration index is
+	// congruent to ShardIndex modulo ShardCount are simulated (cell
+	// enumeration is deterministic, so shards partition the grid
+	// exactly). Foreign cells are restored from the Journal when present
+	// and otherwise marked with Cell.Err — a shard's Grid is partial and
+	// not meant to be rendered. Merge the shard journals with
+	// MergeJournals and re-run with the merged journal to render;
+	// because every cell value round-trips exactly through the journal,
+	// the merged tables are byte-identical to a single-process run.
+	ShardCount int
+	ShardIndex int
 }
 
 // gridCells enumerates the (order, start) pairs of the paper's tables:
@@ -192,6 +204,9 @@ func Run(title string, m sim.Machine, jobs []*job.Job, c Case, opt Options) (*Gr
 	starts := opt.Starts
 	if starts == nil {
 		starts = sched.GridStarts()
+	}
+	if opt.ShardCount > 1 && (opt.ShardIndex < 0 || opt.ShardIndex >= opt.ShardCount) {
+		return nil, fmt.Errorf("eval: shard index %d out of range [0,%d)", opt.ShardIndex, opt.ShardCount)
 	}
 	cells := gridCells(orders, starts)
 	g := &Grid{Title: title, Case: c, Machine: m, Jobs: len(jobs)}
@@ -281,6 +296,11 @@ func Run(title string, m sim.Machine, jobs []*job.Job, c Case, opt Options) (*Gr
 				g.Cells[i] = cell
 				return nil
 			}
+		}
+		if opt.ShardCount > 1 && i%opt.ShardCount != opt.ShardIndex {
+			g.Cells[i] = Cell{Order: o, Start: s,
+				Err: fmt.Sprintf("eval: cell owned by shard %d of %d (merge the shard journals to render)", i%opt.ShardCount, opt.ShardCount)}
+			return nil
 		}
 		cell, err := simulateCell(o, s)
 		if err != nil {

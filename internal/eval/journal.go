@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strconv"
 	"sync"
 	"time"
 
@@ -27,6 +28,11 @@ type Journal struct {
 	mu   sync.Mutex
 	f    *os.File
 	done map[string]Cell
+	// stamp is the evaluation fingerprint the journal is bound to (see
+	// Fingerprint); stamped reports whether one was recorded. Resuming
+	// under a different fingerprint is refused by Stamp.
+	stamp   uint64
+	stamped bool
 }
 
 // journalRecord is the serialized form of one completed cell. The float
@@ -48,9 +54,65 @@ type journalRecord struct {
 	Lost      int     `json:"lost,omitempty"`
 }
 
+// stampRecord is the dedicated journal line binding the file to an
+// evaluation fingerprint. It is serialized as hex so the full uint64
+// range survives JSON number parsing.
+type stampRecord struct {
+	Fingerprint string `json:"journal_fingerprint"`
+}
+
 func journalKey(grid string, c Case, o sched.OrderName, s sched.StartName) string {
 	// \x00 separators keep concatenated names unambiguous.
 	return grid + "\x00" + c.String() + "\x00" + string(o) + "\x00" + string(s)
+}
+
+func (r journalRecord) key() string {
+	return r.Grid + "\x00" + r.Case + "\x00" + r.Order + "\x00" + r.Start
+}
+
+func (r journalRecord) cell() Cell {
+	return Cell{
+		Order:         sched.OrderName(r.Order),
+		Start:         sched.StartName(r.Start),
+		Value:         r.Value,
+		SchedulerTime: time.Duration(r.SchedNS),
+		MaxQueue:      r.MaxQueue,
+		Makespan:      r.Makespan,
+		Utilization:   r.Util,
+		Aborted:       r.Aborted,
+		Resubmits:     r.Resubmits,
+		Lost:          r.Lost,
+	}
+}
+
+// parseJournal decodes a journal file's lines into cell records and the
+// stamp, dropping torn or malformed lines (the cells simply re-run).
+// Conflicting stamp lines in one file are an error: the file mixes two
+// evaluations and resuming from it would be wrong either way.
+func parseJournal(data []byte) (recs []journalRecord, stamp uint64, stamped bool, err error) {
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var st stampRecord
+		if json.Unmarshal(line, &st) == nil && st.Fingerprint != "" {
+			fp, perr := strconv.ParseUint(st.Fingerprint, 16, 64)
+			if perr != nil {
+				continue // torn stamp line: treat as absent
+			}
+			if stamped && fp != stamp {
+				return nil, 0, false, fmt.Errorf("eval: journal carries conflicting fingerprints %016x and %016x", stamp, fp)
+			}
+			stamp, stamped = fp, true
+			continue
+		}
+		var rec journalRecord
+		if json.Unmarshal(line, &rec) != nil || rec.Order == "" {
+			continue // torn tail (or corruption): the cell re-runs
+		}
+		recs = append(recs, rec)
+	}
+	return recs, stamp, stamped, nil
 }
 
 // OpenJournal opens (creating if needed) the journal at path. With resume
@@ -64,26 +126,13 @@ func OpenJournal(path string, resume bool) (*Journal, error) {
 		if err != nil && !os.IsNotExist(err) {
 			return nil, fmt.Errorf("eval: journal: %w", err)
 		}
-		for _, line := range bytes.Split(data, []byte("\n")) {
-			if len(bytes.TrimSpace(line)) == 0 {
-				continue
-			}
-			var rec journalRecord
-			if json.Unmarshal(line, &rec) != nil {
-				continue // torn tail (or corruption): the cell re-runs
-			}
-			j.done[rec.Grid+"\x00"+rec.Case+"\x00"+rec.Order+"\x00"+rec.Start] = Cell{
-				Order:         sched.OrderName(rec.Order),
-				Start:         sched.StartName(rec.Start),
-				Value:         rec.Value,
-				SchedulerTime: time.Duration(rec.SchedNS),
-				MaxQueue:      rec.MaxQueue,
-				Makespan:      rec.Makespan,
-				Utilization:   rec.Util,
-				Aborted:       rec.Aborted,
-				Resubmits:     rec.Resubmits,
-				Lost:          rec.Lost,
-			}
+		recs, stamp, stamped, err := parseJournal(data)
+		if err != nil {
+			return nil, err
+		}
+		j.stamp, j.stamped = stamp, stamped
+		for _, rec := range recs {
+			j.done[rec.key()] = rec.cell()
 		}
 	}
 	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
@@ -96,6 +145,114 @@ func OpenJournal(path string, resume bool) (*Journal, error) {
 	}
 	j.f = f
 	return j, nil
+}
+
+// Stamp binds the journal to an evaluation fingerprint (see
+// Fingerprint). On a fresh journal the stamp is appended and fsynced;
+// on a resumed journal that already carries a stamp, a mismatch is an
+// error — the journal was recorded for a different evaluation and its
+// cells must not be mixed into this one. A resumed legacy journal
+// without a stamp is adopted (stamped now) for compatibility.
+func (j *Journal) Stamp(fp uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.stamped {
+		if j.stamp != fp {
+			return fmt.Errorf("eval: journal was recorded for a different evaluation (fingerprint %016x, this run is %016x): use a fresh -journal file or re-run without -resume", j.stamp, fp)
+		}
+		return nil
+	}
+	line, err := json.Marshal(stampRecord{Fingerprint: fmt.Sprintf("%016x", fp)})
+	if err != nil {
+		return err
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.stamp, j.stamped = fp, true
+	return nil
+}
+
+// Fingerprint returns the journal's stamp, if any.
+func (j *Journal) Fingerprint() (uint64, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stamp, j.stamped
+}
+
+// MergeJournals unions several shard journals into dst (truncating it).
+// Every stamped source must carry the same fingerprint — shards of one
+// evaluation by construction — and dst inherits it. Duplicate cells
+// (e.g. from overlapping resumes) keep their first occurrence. The
+// merged journal is a normal journal: opening it with resume and
+// re-running the evaluation restores every cell without simulating and
+// renders byte-identically to a single-process run.
+func MergeJournals(dst string, srcs ...string) error {
+	if len(srcs) == 0 {
+		return fmt.Errorf("eval: merge needs at least one source journal")
+	}
+	var (
+		stamp   uint64
+		stamped bool
+		order   []journalRecord
+		seen    = make(map[string]bool)
+	)
+	for _, src := range srcs {
+		data, err := os.ReadFile(src)
+		if err != nil {
+			return fmt.Errorf("eval: merge: %w", err)
+		}
+		recs, fp, ok, err := parseJournal(data)
+		if err != nil {
+			return fmt.Errorf("eval: merge %s: %w", src, err)
+		}
+		if ok {
+			if stamped && fp != stamp {
+				return fmt.Errorf("eval: merge: %s has fingerprint %016x, earlier sources %016x: the journals belong to different evaluations", src, fp, stamp)
+			}
+			stamp, stamped = fp, true
+		}
+		for _, rec := range recs {
+			if seen[rec.key()] {
+				continue
+			}
+			seen[rec.key()] = true
+			order = append(order, rec)
+		}
+	}
+	out, err := OpenJournal(dst, false)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if stamped {
+		if err := out.Stamp(stamp); err != nil {
+			return err
+		}
+	}
+	for _, rec := range order {
+		c, err := caseFromString(rec.Case)
+		if err != nil {
+			return fmt.Errorf("eval: merge: %w", err)
+		}
+		if err := out.Record(rec.Grid, c, rec.cell()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func caseFromString(s string) (Case, error) {
+	switch s {
+	case Unweighted.String():
+		return Unweighted, nil
+	case Weighted.String():
+		return Weighted, nil
+	}
+	return 0, fmt.Errorf("unknown case %q", s)
 }
 
 // Lookup returns the journaled result of a cell, if present.

@@ -1,0 +1,237 @@
+package eval
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"jobsched/internal/sim"
+)
+
+// TestShardedGridMergeByteIdentical: splitting a grid across shard
+// processes (each with its own journal), merging the journals, and
+// re-running against the merged journal must render byte-identically
+// to a single-process run — without re-simulating a single cell.
+func TestShardedGridMergeByteIdentical(t *testing.T) {
+	jobs := robustnessJobs(t, 200, 321)
+	m := sim.Machine{Nodes: 256}
+	dir := t.TempDir()
+	opt := Options{Validate: true, Parallel: true}
+
+	var want string
+	for _, c := range []Case{Unweighted, Weighted} {
+		g, err := Run("shards", m, jobs, c, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want += renderGrid(t, g)
+	}
+
+	fp := NewFingerprint()
+	fp.Machine(m)
+	fp.Jobs(jobs)
+	fp.Options(opt)
+
+	const shards = 3
+	var paths []string
+	var simulated atomic.Int64
+	for i := 0; i < shards; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("shard%d.jsonl", i))
+		paths = append(paths, path)
+		j, err := OpenJournal(path, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Stamp(fp.Sum()); err != nil {
+			t.Fatal(err)
+		}
+		sopt := opt
+		sopt.Journal = j
+		sopt.ShardCount = shards
+		sopt.ShardIndex = i
+		sopt.Hooks = countingHooks(&simulated)
+		for _, c := range []Case{Unweighted, Weighted} {
+			g, err := Run("shards", m, jobs, c, sopt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// A shard's grid is partial: foreign cells carry a marker.
+			var owned, foreign int
+			for _, cell := range g.Cells {
+				if strings.Contains(cell.Err, "owned by shard") {
+					foreign++
+				} else {
+					owned++
+				}
+			}
+			if foreign == 0 || owned == 0 {
+				t.Fatalf("shard %d: %d owned, %d foreign cells", i, owned, foreign)
+			}
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged := filepath.Join(dir, "merged.jsonl")
+	if err := MergeJournals(merged, paths...); err != nil {
+		t.Fatal(err)
+	}
+
+	j, err := OpenJournal(merged, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Stamp(fp.Sum()); err != nil {
+		t.Fatalf("merged journal refused the evaluation fingerprint: %v", err)
+	}
+	var resimulated atomic.Int64
+	mopt := opt
+	mopt.Journal = j
+	mopt.Hooks = countingHooks(&resimulated)
+	var got string
+	for _, c := range []Case{Unweighted, Weighted} {
+		g, err := Run("shards", m, jobs, c, mopt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got += renderGrid(t, g)
+	}
+	if resimulated.Load() != 0 {
+		t.Errorf("merged run re-simulated %d cells; want 0", resimulated.Load())
+	}
+	if got != want {
+		t.Errorf("merged render differs from single-process run:\n--- single\n%s\n--- merged\n%s", want, got)
+	}
+	// The shards together simulated each cell exactly once.
+	if simulated.Load() != int64(j.Completed()) {
+		t.Errorf("shards simulated %d cells, journal holds %d", simulated.Load(), j.Completed())
+	}
+}
+
+// TestJournalStampRefusesMismatch is the regression test for resuming
+// against a journal recorded for a different evaluation: cells are
+// keyed only by grid/case/policy names, so before fingerprint stamps a
+// -resume with a changed workload or failure plan silently served stale
+// values. A mismatched stamp must now be refused.
+func TestJournalStampRefusesMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cells.jsonl")
+	j, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Stamp(0xabc123); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if fp, ok := j2.Fingerprint(); !ok || fp != 0xabc123 {
+		t.Fatalf("stamp not restored: %x, %v", fp, ok)
+	}
+	if err := j2.Stamp(0xabc123); err != nil {
+		t.Errorf("matching stamp refused: %v", err)
+	}
+	err = j2.Stamp(0xdef456)
+	if err == nil {
+		t.Fatal("mismatched fingerprint accepted on resume")
+	}
+	if !strings.Contains(err.Error(), "different evaluation") {
+		t.Errorf("error %q does not explain the mismatch", err)
+	}
+}
+
+// A legacy journal without a stamp is adopted on resume.
+func TestJournalStampAdoptsLegacy(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cells.jsonl")
+	j, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("legacy", Unweighted, Cell{Order: "FCFS", Start: "EASY", Value: 42}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if _, ok := j2.Fingerprint(); ok {
+		t.Fatal("legacy journal reports a stamp")
+	}
+	if err := j2.Stamp(7); err != nil {
+		t.Fatalf("legacy journal not adopted: %v", err)
+	}
+	if _, ok := j2.Lookup("legacy", Unweighted, "FCFS", "EASY"); !ok {
+		t.Error("legacy cell lost")
+	}
+}
+
+func TestMergeJournalsRejectsMixedFingerprints(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(name string, fp uint64) string {
+		path := filepath.Join(dir, name)
+		j, err := OpenJournal(path, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Stamp(fp); err != nil {
+			t.Fatal(err)
+		}
+		j.Close()
+		return path
+	}
+	a := mk("a.jsonl", 1)
+	b := mk("b.jsonl", 2)
+	err := MergeJournals(filepath.Join(dir, "out.jsonl"), a, b)
+	if err == nil || !strings.Contains(err.Error(), "different evaluations") {
+		t.Fatalf("mixed fingerprints accepted: %v", err)
+	}
+}
+
+func TestShardIndexValidation(t *testing.T) {
+	_, err := Run("bad", sim.Machine{Nodes: 4}, nil, Unweighted, Options{ShardCount: 2, ShardIndex: 2})
+	if err == nil || !strings.Contains(err.Error(), "shard index") {
+		t.Fatalf("bad shard index accepted: %v", err)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	jobs := robustnessJobs(t, 20, 5)
+	base := func() *Fingerprint {
+		f := NewFingerprint()
+		f.Machine(sim.Machine{Nodes: 256})
+		f.Jobs(jobs)
+		f.Options(Options{})
+		return f
+	}
+	if base().Sum() != base().Sum() {
+		t.Fatal("fingerprint not deterministic")
+	}
+	jobs2 := robustnessJobs(t, 20, 5)
+	jobs2[3].Runtime++
+	other := NewFingerprint()
+	other.Machine(sim.Machine{Nodes: 256})
+	other.Jobs(jobs2)
+	other.Options(Options{})
+	if other.Sum() == base().Sum() {
+		t.Error("fingerprint blind to workload change")
+	}
+	withFaults := NewFingerprint()
+	withFaults.Machine(sim.Machine{Nodes: 256})
+	withFaults.Jobs(jobs)
+	withFaults.Options(Options{Failures: []sim.Failure{{At: 10, Nodes: 1, Duration: 5}}})
+	if withFaults.Sum() == base().Sum() {
+		t.Error("fingerprint blind to failure plan")
+	}
+}

@@ -16,6 +16,11 @@ var simPurityScope = []string{
 	"jobsched/internal/sched",
 	"jobsched/internal/profile",
 	"jobsched/internal/objective",
+	// The streaming arrival path: sources feed the engine directly, so
+	// the same embeddability rules apply — a Scanner reads from an
+	// io.Reader handed in by the caller, never from a file it opened.
+	"jobsched/internal/trace",
+	"jobsched/internal/workload",
 }
 
 // impureImports are the packages that carry process-global I/O.

@@ -46,6 +46,11 @@ type Options struct {
 	// handling — the function must be cheap and safe for concurrent use
 	// with whatever sets it (typically an atomic flag).
 	Interrupt func() bool
+	// Sink, when non-nil, receives every finalized allocation in event
+	// order and Result.Schedule.Allocs stays empty — the bounded-memory
+	// contract for streaming runs (see Sink). Incompatible with Validate,
+	// which needs the retained schedule.
+	Sink Sink
 	// Recorder, when non-nil, receives the structured decision trace:
 	// arrivals, starts (with the start-reason classification supplied by
 	// DecisionExplainer schedulers), finishes, failure aborts, capacity
@@ -147,8 +152,33 @@ func Run(m Machine, jobs []*job.Job, s Scheduler, opt Options) (*Result, error) 
 			return nil, err
 		}
 	}
-	arrivals := append([]*job.Job(nil), jobs...)
-	job.SortBySubmit(arrivals)
+	return run(m, NewSliceSource(jobs), s, opt, len(jobs))
+}
+
+// RunStream simulates the scheduler on a streaming arrival source
+// without materializing the job list: jobs are pulled from src as the
+// clock reaches them, one same-instant batch at a time. src must yield
+// jobs in non-decreasing submission order (see Source); same-instant
+// batches are sorted by ID, so RunStream over a trace and Run over the
+// equivalent slice produce identical Results and telemetry.
+//
+// Without Options.Sink the full schedule is still retained in the
+// Result; set a Sink (e.g. an Aggregates collector) for bounded-memory
+// runs.
+func RunStream(m Machine, src Source, s Scheduler, opt Options) (*Result, error) {
+	if m.Nodes <= 0 {
+		return nil, fmt.Errorf("sim: machine needs at least one node")
+	}
+	return run(m, src, s, opt, 0)
+}
+
+// run is the event loop shared by Run and RunStream. capHint sizes the
+// retained allocation slice when the job count is known up front.
+func run(m Machine, src Source, s Scheduler, opt Options, capHint int) (*Result, error) {
+	sink := opt.Sink
+	if sink != nil && opt.Validate {
+		return nil, fmt.Errorf("sim: Validate needs the retained schedule; it cannot be combined with a Sink")
+	}
 
 	failures, err := validateFailures(opt.Failures, m.Nodes)
 	if err != nil {
@@ -184,7 +214,7 @@ func Run(m Machine, jobs []*job.Job, s Scheduler, opt Options) (*Result, error) 
 
 	res := &Result{Schedule: &Schedule{
 		Machine: m,
-		Allocs:  make([]Allocation, 0, len(jobs)),
+		Allocs:  make([]Allocation, 0, capHint),
 	}}
 
 	rec := opt.Recorder
@@ -196,15 +226,16 @@ func Run(m Machine, jobs []*job.Job, s Scheduler, opt Options) (*Result, error) 
 	var (
 		pending    completionHeap
 		free       = m.Nodes
-		nextArr    = 0
 		nextEdge   = 0
 		startSeq   = 0
 		schedTime  time.Duration
 		runningBy  = make(map[job.ID]Running, 64)
 		runningSeq = make(map[job.ID]int, 64)
 		// runningAlloc maps a running job to its allocation record so a
-		// failure abort can rewrite it in place.
-		runningAlloc = make(map[job.ID]int, 64)
+		// failure abort can rewrite it in place (retained-schedule mode);
+		// openAlloc holds the not-yet-finalized allocation in sink mode.
+		runningAlloc map[job.ID]int
+		openAlloc    map[job.ID]Allocation
 		cancelled    = make(map[int]bool)
 		// resub holds backoff-delayed resubmissions (a second event source
 		// reusing the completion heap shape; seq is the abort order).
@@ -216,6 +247,49 @@ func Run(m Machine, jobs []*job.Job, s Scheduler, opt Options) (*Result, error) 
 	)
 	if len(failures) > 0 {
 		attempts = make(map[job.ID]int)
+	}
+	if sink == nil {
+		runningAlloc = make(map[job.ID]int, 64)
+	} else {
+		openAlloc = make(map[job.ID]Allocation, 64)
+	}
+
+	// Streaming arrival state: a one-job peek buffer over the source and
+	// a reused batch for the arrivals sharing the current instant.
+	var (
+		peeked     *job.Job
+		srcDone    bool
+		batch      []*job.Job
+		lastSubmit = int64(-1)
+	)
+	peek := func() (*job.Job, error) {
+		if peeked == nil && !srcDone {
+			j, err := src.Next()
+			if err != nil {
+				return nil, fmt.Errorf("sim: arrival source: %w", err)
+			}
+			if j == nil {
+				srcDone = true
+				return nil, nil
+			}
+			if err := j.Validate(m.Nodes, false); err != nil {
+				return nil, err
+			}
+			if j.Submit < lastSubmit {
+				// A source going backwards in time would silently corrupt
+				// the event order; the Source contract requires sorted input.
+				return nil, fmt.Errorf("sim: arrival source yielded submit %d after %d: sources must be non-decreasing in submission time", j.Submit, lastSubmit)
+			}
+			lastSubmit = j.Submit
+			peeked = j
+		}
+		return peeked, nil
+	}
+	emit := func(a Allocation) error {
+		if err := sink.Emit(a); err != nil {
+			return fmt.Errorf("sim: sink: %w", err)
+		}
+		return nil
 	}
 
 	timed := func(f func()) {
@@ -242,14 +316,21 @@ func Run(m Machine, jobs []*job.Job, s Scheduler, opt Options) (*Result, error) 
 		return runningBuf
 	}
 
-	for nextArr < len(arrivals) || pending.Len() > 0 || nextEdge < len(edges) || resub.Len() > 0 {
+	for {
+		nxt, err := peek()
+		if err != nil {
+			return nil, err
+		}
+		if nxt == nil && pending.Len() == 0 && nextEdge >= len(edges) && resub.Len() == 0 {
+			break
+		}
 		if opt.Interrupt != nil && opt.Interrupt() {
 			return nil, ErrInterrupted
 		}
 		// Determine the next event time.
 		now := int64(-1)
-		if nextArr < len(arrivals) {
-			now = arrivals[nextArr].Submit
+		if nxt != nil {
+			now = nxt.Submit
 		}
 		if pending.Len() > 0 && (now < 0 || pending[0].at < now) {
 			now = pending[0].at
@@ -264,8 +345,8 @@ func Run(m Machine, jobs []*job.Job, s Scheduler, opt Options) (*Result, error) 
 			now = resub[0].at
 		}
 		if opt.MaxTime > 0 && now > opt.MaxTime {
-			return nil, fmt.Errorf("sim: clock passed MaxTime %d with %d jobs unfinished",
-				opt.MaxTime, len(arrivals)-len(res.Schedule.Allocs))
+			return nil, fmt.Errorf("sim: clock passed MaxTime %d with %d jobs running and %d waiting",
+				opt.MaxTime, len(runningBy), s.QueueLen())
 		}
 		res.Events++
 
@@ -281,6 +362,13 @@ func Run(m Machine, jobs []*job.Job, s Scheduler, opt Options) (*Result, error) 
 			free += c.job.Nodes
 			delete(runningBy, c.job.ID)
 			delete(runningSeq, c.job.ID)
+			if sink != nil {
+				a := openAlloc[c.job.ID]
+				delete(openAlloc, c.job.ID)
+				if err := emit(a); err != nil {
+					return nil, err
+				}
+			}
 			if rec != nil {
 				rec.Record(telemetry.Event{Type: telemetry.EventFinish, At: now,
 					Job: int64(c.job.ID), Nodes: c.job.Nodes, Head: telemetry.None,
@@ -306,17 +394,29 @@ func Run(m Machine, jobs []*job.Job, s Scheduler, opt Options) (*Result, error) 
 					return nil, fmt.Errorf("sim: failure at %d cannot be absorbed", now)
 				}
 				free += victim.Job.Nodes
-				// Rewrite the victim's allocation record in place: the
-				// attempt ends now, cut short.
-				a := &res.Schedule.Allocs[runningAlloc[victim.Job.ID]]
-				a.End = now
-				a.Aborted = true
-				a.Killed = false
+				// Rewrite the victim's allocation record: the attempt ends
+				// now, cut short. In sink mode the open allocation is
+				// finalized and emitted instead of rewritten in place.
+				if sink == nil {
+					a := &res.Schedule.Allocs[runningAlloc[victim.Job.ID]]
+					a.End = now
+					a.Aborted = true
+					a.Killed = false
+					delete(runningAlloc, victim.Job.ID)
+				} else {
+					a := openAlloc[victim.Job.ID]
+					a.End = now
+					a.Aborted = true
+					a.Killed = false
+					delete(openAlloc, victim.Job.ID)
+					if err := emit(a); err != nil {
+						return nil, err
+					}
+				}
 				res.AbortedAttempts++
 				cancelled[runningSeq[victim.Job.ID]] = true
 				delete(runningBy, victim.Job.ID)
 				delete(runningSeq, victim.Job.ID)
-				delete(runningAlloc, victim.Job.ID)
 				// Resubmit: the job restarts from scratch; its original
 				// submission time is kept so response metrics account the
 				// full delay. The resubmit policy may delay the retry
@@ -367,10 +467,23 @@ func Run(m Machine, jobs []*job.Job, s Scheduler, opt Options) (*Result, error) 
 			j := c.job
 			timed(func() { s.Submit(j, now) })
 		}
-		// Deliver all arrivals at `now`.
-		for nextArr < len(arrivals) && arrivals[nextArr].Submit == now {
-			j := arrivals[nextArr]
-			nextArr++
+		// Deliver all arrivals at `now`, sorted by ID within the instant:
+		// the source only guarantees submit order, and the sort makes a
+		// streaming run identical to one over a pre-sorted slice.
+		batch = batch[:0]
+		for {
+			j, err := peek()
+			if err != nil {
+				return nil, err
+			}
+			if j == nil || j.Submit != now {
+				break
+			}
+			batch = append(batch, j)
+			peeked = nil
+		}
+		sort.SliceStable(batch, func(i, j int) bool { return batch[i].ID < batch[j].ID })
+		for _, j := range batch {
 			if rec != nil {
 				rec.Record(telemetry.Event{Type: telemetry.EventArrival, At: now,
 					Job: int64(j.ID), Nodes: j.Nodes, Head: telemetry.None})
@@ -401,10 +514,13 @@ func Run(m Machine, jobs []*job.Job, s Scheduler, opt Options) (*Result, error) 
 				}
 				free -= j.Nodes
 				end := job.AddSat(now, j.EffectiveRuntime())
-				runningAlloc[j.ID] = len(res.Schedule.Allocs)
-				res.Schedule.Allocs = append(res.Schedule.Allocs, Allocation{
-					Job: j, Start: now, End: end, Killed: j.Killed(),
-				})
+				alloc := Allocation{Job: j, Start: now, End: end, Killed: j.Killed()}
+				if sink == nil {
+					runningAlloc[j.ID] = len(res.Schedule.Allocs)
+					res.Schedule.Allocs = append(res.Schedule.Allocs, alloc)
+				} else {
+					openAlloc[j.ID] = alloc
+				}
 				runningBy[j.ID] = Running{Job: j, Start: now, EstEnd: job.AddSat(now, j.Estimate)}
 				runningSeq[j.ID] = startSeq
 				heap.Push(&pending, completion{at: end, seq: startSeq, job: j})

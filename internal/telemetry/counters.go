@@ -58,11 +58,28 @@ type Counters struct {
 
 	// QueueDepth and FreeNodes sample the waiting-queue depth and the
 	// free-node count at the first scheduler query of every event batch.
+	// With SampleCap set, the series are decimated (see below) and
+	// therefore approximate; PeakQueueDepth and MinFreeNodes stay exact.
 	QueueDepth []Sample
 	FreeNodes  []Sample
 
-	lastPassAt int64
-	sawAnyPass bool
+	// SampleCap bounds the retained time-series length for streaming
+	// runs (0 = unlimited, the historical behavior). When a series
+	// reaches the cap, every other retained sample is dropped and the
+	// sampling stride doubles — a deterministic decimation that keeps
+	// the series uniformly spread over the whole run at a resolution of
+	// cap/2..cap points, independent of the run's length.
+	SampleCap int
+
+	// PeakQueueDepth and MinFreeNodes are exact extrema over every event
+	// batch, unaffected by decimation.
+	PeakQueueDepth int
+	MinFreeNodes   int
+
+	stride      int64
+	passSamples int64
+	lastPassAt  int64
+	sawAnyPass  bool
 }
 
 // NewCounters returns an empty counter set.
@@ -129,13 +146,48 @@ func (c *Counters) Record(ev Event) {
 	case EventPass:
 		c.StartableCalls++
 		if !c.sawAnyPass || ev.At != c.lastPassAt {
+			if !c.sawAnyPass {
+				c.MinFreeNodes = ev.Free
+			}
 			c.Passes++
 			c.sawAnyPass = true
 			c.lastPassAt = ev.At
-			c.QueueDepth = append(c.QueueDepth, Sample{At: ev.At, Value: ev.Queue})
-			c.FreeNodes = append(c.FreeNodes, Sample{At: ev.At, Value: ev.Free})
+			if ev.Queue > c.PeakQueueDepth {
+				c.PeakQueueDepth = ev.Queue
+			}
+			if ev.Free < c.MinFreeNodes {
+				c.MinFreeNodes = ev.Free
+			}
+			c.sample(ev)
 		}
 	}
+}
+
+// sample appends one time-series point, decimating when the cap is hit.
+func (c *Counters) sample(ev Event) {
+	if c.stride == 0 {
+		c.stride = 1
+	}
+	if c.passSamples%c.stride == 0 {
+		c.QueueDepth = append(c.QueueDepth, Sample{At: ev.At, Value: ev.Queue})
+		c.FreeNodes = append(c.FreeNodes, Sample{At: ev.At, Value: ev.Free})
+		if c.SampleCap > 0 && len(c.QueueDepth) >= c.SampleCap {
+			c.QueueDepth = decimate(c.QueueDepth)
+			c.FreeNodes = decimate(c.FreeNodes)
+			c.stride *= 2
+		}
+	}
+	c.passSamples++
+}
+
+// decimate drops every other sample in place, keeping the first.
+func decimate(s []Sample) []Sample {
+	n := 0
+	for i := 0; i < len(s); i += 2 {
+		s[n] = s[i]
+		n++
+	}
+	return s[:n]
 }
 
 // Report writes a human-readable summary.
@@ -154,8 +206,8 @@ func (c *Counters) Report(w io.Writer) error {
 		fmt.Fprintf(w, "start reason:      %-24s %d\n", r, c.StartReasons[r])
 	}
 	fmt.Fprintf(w, "profile ops:       %s\n", c.Profile.String())
-	fmt.Fprintf(w, "peak queue depth:  %d\n", maxSample(c.QueueDepth))
-	_, err := fmt.Fprintf(w, "min free nodes:    %d\n", minSample(c.FreeNodes))
+	fmt.Fprintf(w, "peak queue depth:  %d\n", c.PeakQueueDepth)
+	_, err := fmt.Fprintf(w, "min free nodes:    %d\n", c.MinFreeNodes)
 	return err
 }
 
@@ -183,25 +235,3 @@ func sortedReasonKeys(m map[Reason]int64) []Reason {
 	return out
 }
 
-func maxSample(s []Sample) int {
-	var m int
-	for _, x := range s {
-		if x.Value > m {
-			m = x.Value
-		}
-	}
-	return m
-}
-
-func minSample(s []Sample) int {
-	if len(s) == 0 {
-		return 0
-	}
-	m := s[0].Value
-	for _, x := range s[1:] {
-		if x.Value < m {
-			m = x.Value
-		}
-	}
-	return m
-}

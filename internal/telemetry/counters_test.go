@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"testing"
+)
+
+// feedPasses drives n distinct-instant passes through c with a sawtooth
+// queue depth and free-node count, returning the exact extrema.
+func feedPasses(c *Counters, n int) (peakQueue, minFree int) {
+	minFree = 1 << 30
+	for i := 0; i < n; i++ {
+		q := (i*37)%101 + 1 // 1..101, hits 101 eventually
+		f := 256 - (i*53)%200
+		if q > peakQueue {
+			peakQueue = q
+		}
+		if f < minFree {
+			minFree = f
+		}
+		c.Record(Event{Type: EventPass, At: int64(i), Job: None, Head: None, Queue: q, Free: f})
+	}
+	return peakQueue, minFree
+}
+
+// TestSampleCapBoundsSeries: with a cap set, the series length stays
+// within [cap/2, cap] no matter how many passes occur, while the exact
+// extrema match an uncapped counter fed the same events.
+func TestSampleCapBoundsSeries(t *testing.T) {
+	const cap = 64
+	capped := NewCounters()
+	capped.SampleCap = cap
+	full := NewCounters()
+	wantPeak, wantMin := feedPasses(capped, 10000)
+	feedPasses(full, 10000)
+
+	if len(capped.QueueDepth) > cap || len(capped.QueueDepth) < cap/2 {
+		t.Errorf("series length %d outside [%d, %d]", len(capped.QueueDepth), cap/2, cap)
+	}
+	if len(capped.FreeNodes) != len(capped.QueueDepth) {
+		t.Errorf("series lengths diverge: %d vs %d", len(capped.FreeNodes), len(capped.QueueDepth))
+	}
+	if capped.PeakQueueDepth != wantPeak || capped.MinFreeNodes != wantMin {
+		t.Errorf("extrema %d/%d, want exact %d/%d",
+			capped.PeakQueueDepth, capped.MinFreeNodes, wantPeak, wantMin)
+	}
+	if capped.PeakQueueDepth != full.PeakQueueDepth || capped.MinFreeNodes != full.MinFreeNodes {
+		t.Errorf("capped extrema %d/%d differ from uncapped %d/%d",
+			capped.PeakQueueDepth, capped.MinFreeNodes, full.PeakQueueDepth, full.MinFreeNodes)
+	}
+	if capped.Passes != full.Passes {
+		t.Errorf("pass count %d vs %d", capped.Passes, full.Passes)
+	}
+	// The retained samples are a subset of the full series at a uniform
+	// power-of-two stride, anchored at the first pass.
+	if capped.QueueDepth[0] != full.QueueDepth[0] {
+		t.Errorf("first sample %v, want %v", capped.QueueDepth[0], full.QueueDepth[0])
+	}
+	stride := capped.QueueDepth[1].At - capped.QueueDepth[0].At
+	if stride < 1 || stride&(stride-1) != 0 {
+		t.Fatalf("stride %d is not a power of two", stride)
+	}
+	for i, s := range capped.QueueDepth {
+		want := full.QueueDepth[int64(i)*stride]
+		if s != want {
+			t.Fatalf("sample %d = %v, want full series point %v", i, s, want)
+		}
+	}
+}
+
+// TestSampleCapZeroKeepsEverySample pins the historical behavior: no cap
+// means one sample per pass, forever.
+func TestSampleCapZeroKeepsEverySample(t *testing.T) {
+	c := NewCounters()
+	feedPasses(c, 5000)
+	if len(c.QueueDepth) != 5000 || len(c.FreeNodes) != 5000 {
+		t.Errorf("uncapped series length %d/%d, want 5000", len(c.QueueDepth), len(c.FreeNodes))
+	}
+}
+
+// TestSampleCapDeterministic: two counters fed the same events retain
+// the same decimated series.
+func TestSampleCapDeterministic(t *testing.T) {
+	a := NewCounters()
+	a.SampleCap = 32
+	b := NewCounters()
+	b.SampleCap = 32
+	feedPasses(a, 3333)
+	feedPasses(b, 3333)
+	if len(a.QueueDepth) != len(b.QueueDepth) {
+		t.Fatalf("series lengths %d vs %d", len(a.QueueDepth), len(b.QueueDepth))
+	}
+	for i := range a.QueueDepth {
+		if a.QueueDepth[i] != b.QueueDepth[i] || a.FreeNodes[i] != b.FreeNodes[i] {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+}
+
+// TestMinFreeNodesInitialization: the first pass seeds MinFreeNodes, so
+// a machine that never drains below its initial free count reports that
+// count, not zero.
+func TestMinFreeNodesInitialization(t *testing.T) {
+	c := NewCounters()
+	c.Record(Event{Type: EventPass, At: 0, Job: None, Head: None, Queue: 0, Free: 128})
+	c.Record(Event{Type: EventPass, At: 5, Job: None, Head: None, Queue: 0, Free: 200})
+	if c.MinFreeNodes != 128 {
+		t.Errorf("MinFreeNodes = %d, want 128", c.MinFreeNodes)
+	}
+	if c.PeakQueueDepth != 0 {
+		t.Errorf("PeakQueueDepth = %d, want 0", c.PeakQueueDepth)
+	}
+}

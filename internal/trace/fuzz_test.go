@@ -59,8 +59,8 @@ func FuzzReadSWF(f *testing.F) {
 
 		for _, set := range [][]*job.Job{jobs, all} {
 			for i, j := range set {
-				if int(j.ID) != i {
-					t.Fatalf("job %d: ID %d not dense", i, j.ID)
+				if j.ID < 0 {
+					t.Fatalf("job %d: negative ID %d", i, j.ID)
 				}
 				if j.Runtime < 1 || j.Nodes < 1 {
 					t.Fatalf("job %d: degenerate runtime %d / nodes %d survived", i, j.Runtime, j.Nodes)
@@ -97,6 +97,49 @@ func FuzzReadSWF(f *testing.F) {
 				a.Estimate != b.Estimate || a.Nodes != b.Nodes {
 				t.Fatalf("round trip changed job %d: %+v -> %+v", i, a, b)
 			}
+		}
+
+		// Streaming differential: on submit-sorted input the incremental
+		// Scanner must yield exactly the slice read; on unsorted input it
+		// must reject with an error (the documented streaming contract).
+		sorted := true
+		for i := 1; i < len(jobs); i++ {
+			if jobs[i].Submit < jobs[i-1].Submit {
+				sorted = false
+				break
+			}
+		}
+		sc := NewScanner(strings.NewReader(data), ReadOptions{})
+		var streamed []*job.Job
+		var serr error
+		for {
+			j, err := sc.Next()
+			if err != nil {
+				serr = err
+				break
+			}
+			if j == nil {
+				break
+			}
+			streamed = append(streamed, j)
+		}
+		if sorted {
+			if serr != nil {
+				t.Fatalf("scanner rejected sorted input: %v", serr)
+			}
+			if len(streamed) != len(jobs) {
+				t.Fatalf("scanner yielded %d jobs, slice read %d", len(streamed), len(jobs))
+			}
+			for i := range jobs {
+				if *streamed[i] != *jobs[i] {
+					t.Fatalf("scanner job %d differs: %+v vs %+v", i, streamed[i], jobs[i])
+				}
+			}
+			if sc.Header() != h {
+				t.Fatalf("scanner header %+v, slice read %+v", sc.Header(), h)
+			}
+		} else if serr == nil {
+			t.Fatalf("scanner accepted out-of-order input")
 		}
 	})
 }

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"jobsched/internal/job"
+)
+
+func drain(t *testing.T, sc *Scanner) []*job.Job {
+	t.Helper()
+	var out []*job.Job
+	for {
+		j, err := sc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j == nil {
+			return out
+		}
+		out = append(out, j)
+	}
+}
+
+func TestScannerYieldsFileOrder(t *testing.T) {
+	in := strings.Join([]string{
+		"; Computer: test",
+		"; MaxNodes: 64",
+		"1 0 -1 100 2 -1 -1 2 200 -1 1 a -1 -1 -1 -1 -1 -1",
+		"2 0 -1 100 4 -1 -1 4 200 -1 1 b -1 -1 -1 -1 -1 -1",
+		"3 10 -1 50 1 -1 -1 1 100 -1 1 c -1 -1 -1 -1 -1 -1",
+	}, "\n")
+	sc := NewScanner(strings.NewReader(in), ReadOptions{})
+	jobs := drain(t, sc)
+	if len(jobs) != 3 {
+		t.Fatalf("%d jobs", len(jobs))
+	}
+	if sc.Header().MaxNodes != 64 || sc.Header().Computer != "test" {
+		t.Errorf("header %+v", sc.Header())
+	}
+	for i, want := range []job.ID{1, 2, 3} {
+		if jobs[i].ID != want {
+			t.Errorf("job %d ID %d, want %d", i, jobs[i].ID, want)
+		}
+	}
+}
+
+// TestScannerTiesPreserveFileOrder: records sharing a submission time are
+// yielded in file order even when their SWF job numbers are descending.
+func TestScannerTiesPreserveFileOrder(t *testing.T) {
+	in := strings.Join([]string{
+		"9 5 -1 100 2 -1 -1 2 200 -1 1 first -1 -1 -1 -1 -1 -1",
+		"3 5 -1 100 4 -1 -1 4 200 -1 1 second -1 -1 -1 -1 -1 -1",
+		"7 5 -1 100 8 -1 -1 8 200 -1 1 third -1 -1 -1 -1 -1 -1",
+	}, "\n")
+	sc := NewScanner(strings.NewReader(in), ReadOptions{})
+	jobs := drain(t, sc)
+	if len(jobs) != 3 {
+		t.Fatalf("%d jobs", len(jobs))
+	}
+	users := []string{jobs[0].User, jobs[1].User, jobs[2].User}
+	if users[0] != "first" || users[1] != "second" || users[2] != "third" {
+		t.Errorf("tie order %v, want file order", users)
+	}
+}
+
+func TestScannerRejectsOutOfOrderSubmit(t *testing.T) {
+	in := strings.Join([]string{
+		"1 100 -1 100 2 -1 -1 2 200 -1 1 -1 -1 -1 -1 -1 -1 -1",
+		"2 50 -1 100 2 -1 -1 2 200 -1 1 -1 -1 -1 -1 -1 -1 -1",
+	}, "\n")
+	sc := NewScanner(strings.NewReader(in), ReadOptions{})
+	if _, err := sc.Next(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := sc.Next()
+	if err == nil {
+		t.Fatal("out-of-order submit accepted")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error %q does not name line 2", err)
+	}
+	// Errors are sticky.
+	if _, err2 := sc.Next(); err2 == nil || err2.Error() != err.Error() {
+		t.Errorf("error not sticky: %v", err2)
+	}
+
+	// The slice reader stays permissive about order.
+	if _, jobs, err := Read(strings.NewReader(in)); err != nil || len(jobs) != 2 {
+		t.Errorf("ReadWith rejected unsorted input: %v, %d jobs", err, len(jobs))
+	}
+}
+
+func TestScannerEmptyAndCommentOnly(t *testing.T) {
+	for _, in := range []string{"", "\n\n", "; Computer: x\n\n;\n; Note: n\n"} {
+		sc := NewScanner(strings.NewReader(in), ReadOptions{})
+		if jobs := drain(t, sc); len(jobs) != 0 {
+			t.Errorf("%q yielded %d jobs", in, len(jobs))
+		}
+		// A drained scanner keeps returning (nil, nil).
+		if j, err := sc.Next(); j != nil || err != nil {
+			t.Errorf("post-EOF Next: %v, %v", j, err)
+		}
+	}
+}
+
+func TestScannerFiltersLikeRead(t *testing.T) {
+	in := strings.Join([]string{
+		"1 0 -1 100 2 -1 -1 2 200 -1 1 -1 -1 -1 -1 -1 -1 -1",
+		"2 5 -1 80 2 -1 -1 2 200 -1 0 -1 -1 -1 -1 -1 -1 -1", // failed
+		"3 9 -1 50 2 -1 -1 2 100 -1 5 -1 -1 -1 -1 -1 -1 -1", // cancelled
+		"4 12 -1 60 2 -1 -1 2 100 -1 1 -1 -1 -1 -1 -1 -1 -1",
+	}, "\n")
+	def := drain(t, NewScanner(strings.NewReader(in), ReadOptions{}))
+	all := drain(t, NewScanner(strings.NewReader(in), ReadOptions{KeepNonCompleted: true}))
+	if len(def) != 2 || len(all) != 4 {
+		t.Fatalf("kept %d/%d, want 2/4", len(def), len(all))
+	}
+	if def[0].ID != 1 || def[1].ID != 4 {
+		t.Errorf("filtered IDs %d,%d; want 1,4", def[0].ID, def[1].ID)
+	}
+}
+
+func TestWriterStreamsIncrementally(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{Computer: "inc", MaxNodes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	js := []*job.Job{
+		{Submit: 0, Nodes: 2, Runtime: 50, Estimate: 100},
+		{Submit: 10, Nodes: 4, Runtime: 60, Estimate: 120},
+	}
+	for _, j := range js {
+		if err := w.WriteJob(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Jobs() != 2 {
+		t.Fatalf("Jobs() = %d", w.Jobs())
+	}
+
+	// Byte-identical to the slice writer.
+	var whole bytes.Buffer
+	if err := Write(&whole, Header{Computer: "inc", MaxNodes: 16}, js); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != whole.String() {
+		t.Errorf("incremental output differs:\n%q\nvs\n%q", buf.String(), whole.String())
+	}
+
+	// And round-trips through the scanner.
+	got := drain(t, NewScanner(bytes.NewReader(buf.Bytes()), ReadOptions{}))
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("round trip: %v", got)
+	}
+}

@@ -5,7 +5,6 @@
 package trace
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 	"strconv"
@@ -44,30 +43,19 @@ type Header struct {
 	Note     string
 }
 
-// Write serializes jobs as an SWF file. Wait time is written as -1
-// (unknown: the wait is an output of scheduling, not an input); resource
-// fields we do not model are -1 per the SWF convention.
+// Write serializes jobs as an SWF file via the streaming Writer: record
+// i carries the 1-based positional job number i+1.
 func Write(w io.Writer, h Header, jobs []*job.Job) error {
-	bw := bufio.NewWriter(w)
-	if h.Computer != "" {
-		fmt.Fprintf(bw, "; Computer: %s\n", h.Computer)
+	sw, err := NewWriter(w, h)
+	if err != nil {
+		return err
 	}
-	if h.MaxNodes > 0 {
-		fmt.Fprintf(bw, "; MaxNodes: %d\n", h.MaxNodes)
-	}
-	if h.Note != "" {
-		fmt.Fprintf(bw, "; Note: %s\n", h.Note)
-	}
-	for i, j := range jobs {
-		// job_id submit wait runtime procs avg_cpu mem req_procs req_time
-		// req_mem status user group exe queue partition prev think
-		_, err := fmt.Fprintf(bw, "%d %d -1 %d %d -1 -1 %d %d -1 1 %s -1 -1 -1 -1 -1 -1\n",
-			i+1, j.Submit, j.Runtime, j.Nodes, j.Nodes, j.Estimate, swfUser(j))
-		if err != nil {
+	for _, j := range jobs {
+		if err := sw.WriteJob(j); err != nil {
 			return err
 		}
 	}
-	return bw.Flush()
+	return sw.Flush()
 }
 
 func swfUser(j *job.Job) string {
@@ -104,60 +92,51 @@ func Read(r io.Reader) (Header, []*job.Job, error) {
 	return ReadWith(r, ReadOptions{})
 }
 
-// ReadWith parses an SWF stream into jobs under the given options.
+// ReadWith parses an SWF stream into jobs under the given options. Unlike
+// the streaming Scanner it accepts records in any submission order (the
+// caller holds the whole slice and can sort). Job IDs carry the file's
+// 1-based SWF job number (field 1) so schedules, telemetry traces and
+// `analyze -explain` cross-reference against the source file regardless
+// of how many prior records were filtered; records without a usable job
+// number (missing/non-positive, e.g. synthetic dumps writing -1) fall
+// back to a dense sequential ID over the kept records.
 func ReadWith(r io.Reader, opt ReadOptions) (Header, []*job.Job, error) {
-	var (
-		h    Header
-		jobs []*job.Job
-		sc   = bufio.NewScanner(r)
-		line int
-	)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" {
-			continue
-		}
-		if strings.HasPrefix(text, ";") {
-			parseHeaderLine(&h, text)
-			continue
-		}
-		fields := strings.Fields(text)
-		if len(fields) < swfFields {
-			return h, nil, fmt.Errorf("trace: line %d: %d fields, want %d", line, len(fields), swfFields)
-		}
-		j, err := parseRecord(fields, opt)
+	var jobs []*job.Job
+	sc := NewScanner(r, opt)
+	sc.ignoreOrder = true // slice loading stays permissive about file order
+	for {
+		j, err := sc.Next()
 		if err != nil {
-			return h, nil, fmt.Errorf("trace: line %d: %w", line, err)
+			return sc.Header(), nil, err
 		}
 		if j == nil {
-			continue // cancelled/invalid entry
+			return sc.Header(), jobs, nil
 		}
-		j.ID = job.ID(len(jobs))
 		jobs = append(jobs, j)
 	}
-	if err := sc.Err(); err != nil {
-		return h, nil, fmt.Errorf("trace: %w", err)
-	}
-	return h, jobs, nil
 }
 
-func parseHeaderLine(h *Header, text string) {
+func parseHeaderLine(h *Header, text string) error {
 	body := strings.TrimSpace(strings.TrimPrefix(text, ";"))
 	switch {
 	case strings.HasPrefix(body, "Computer:"):
 		h.Computer = strings.TrimSpace(strings.TrimPrefix(body, "Computer:"))
 	case strings.HasPrefix(body, "MaxNodes:"):
-		if v, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(body, "MaxNodes:"))); err == nil {
-			h.MaxNodes = v
+		raw := strings.TrimSpace(strings.TrimPrefix(body, "MaxNodes:"))
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			// A corrupted MaxNodes must not silently degrade to 0 — the
+			// header drives machine sizing downstream.
+			return fmt.Errorf("malformed MaxNodes header value %q", raw)
 		}
+		h.MaxNodes = v
 	case strings.HasPrefix(body, "Note:"):
 		h.Note = strings.TrimSpace(strings.TrimPrefix(body, "Note:"))
 	}
+	return nil
 }
 
-func parseRecord(fields []string, opt ReadOptions) (*job.Job, error) {
+func parseRecord(fields []string, opt ReadOptions, kept int) (*job.Job, error) {
 	geti := func(i int) (int64, error) {
 		v, err := strconv.ParseInt(fields[i], 10, 64)
 		if err != nil {
@@ -214,7 +193,18 @@ func parseRecord(fields []string, opt ReadOptions) (*job.Job, error) {
 	if submit < 0 {
 		submit = 0
 	}
+	// Carry the file's 1-based SWF job number through so the job can be
+	// cross-referenced against the source trace; without one (synthetic
+	// dumps write -1), fall back to a dense sequential ID over the kept
+	// records. The previous renumber-by-position assignment gave the same
+	// record a different ID depending on ReadOptions and on how many
+	// prior records were filtered.
+	id := job.ID(kept)
+	if swfID, err := strconv.ParseInt(fields[fieldJobID], 10, 64); err == nil && swfID > 0 {
+		id = job.ID(swfID)
+	}
 	return &job.Job{
+		ID:       id,
 		Submit:   submit,
 		Runtime:  runtime,
 		Estimate: estimate,

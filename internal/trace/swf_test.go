@@ -179,7 +179,9 @@ func TestReadEmptyAndCommentsOnly(t *testing.T) {
 	}
 }
 
-func TestReadAssignsDenseIDs(t *testing.T) {
+func TestReadCarriesSWFJobNumbers(t *testing.T) {
+	// Write emits positional 1-based job numbers; Read carries them back
+	// into job.ID so jobs cross-reference against the file.
 	var buf bytes.Buffer
 	if err := Write(&buf, Header{}, sample()); err != nil {
 		t.Fatal(err)
@@ -189,8 +191,85 @@ func TestReadAssignsDenseIDs(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, j := range jobs {
-		if j.ID != job.ID(i) {
-			t.Errorf("job %d has ID %d", i, j.ID)
+		if j.ID != job.ID(i+1) {
+			t.Errorf("job %d has ID %d, want SWF number %d", i, j.ID, i+1)
 		}
+	}
+}
+
+// TestReadJobIDStableUnderFiltering is the regression test for the ID
+// renumbering bug: jobs used to be renumbered by kept-record position
+// (j.ID = len(jobs)), so the same SWF record got a different ID depending
+// on ReadOptions.KeepNonCompleted and on how many prior records were
+// filtered — telemetry traces and `analyze -explain JOBID` could not be
+// cross-referenced against the source file.
+func TestReadJobIDStableUnderFiltering(t *testing.T) {
+	in := strings.Join([]string{
+		"7 0 -1 100 2 -1 -1 2 200 -1 0 u1 -1 -1 -1 -1 -1 -1",  // failed: filtered by default
+		"9 5 -1 80 2 -1 -1 2 200 -1 5 u2 -1 -1 -1 -1 -1 -1",   // cancelled: filtered by default
+		"12 9 -1 50 2 -1 -1 2 100 -1 1 u3 -1 -1 -1 -1 -1 -1",  // completed
+		"15 12 -1 60 2 -1 -1 2 100 -1 1 u4 -1 -1 -1 -1 -1 -1", // completed
+	}, "\n")
+	_, def, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, all, err := ReadWith(strings.NewReader(in), ReadOptions{KeepNonCompleted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(def) != 2 || len(all) != 4 {
+		t.Fatalf("kept %d/%d jobs, want 2/4", len(def), len(all))
+	}
+	if def[0].ID != 12 || def[1].ID != 15 {
+		t.Errorf("default read IDs %d,%d; want SWF numbers 12,15", def[0].ID, def[1].ID)
+	}
+	if all[2].ID != 12 || all[3].ID != 15 {
+		t.Errorf("KeepNonCompleted IDs %d,%d; want SWF numbers 12,15", all[2].ID, all[3].ID)
+	}
+	// The same record must carry the same ID under both filters.
+	if def[0].ID != all[2].ID || def[1].ID != all[3].ID {
+		t.Errorf("record IDs depend on filtering: %v vs %v", def, all[2:])
+	}
+}
+
+func TestReadSequentialFallbackWithoutJobNumbers(t *testing.T) {
+	// Records whose job-number field is -1 (synthetic dumps) fall back to
+	// dense sequential IDs over the kept records.
+	in := strings.Join([]string{
+		"-1 0 -1 100 2 -1 -1 2 200 -1 1 -1 -1 -1 -1 -1 -1 -1",
+		"-1 5 -1 80 2 -1 -1 2 200 -1 1 -1 -1 -1 -1 -1 -1 -1",
+	}, "\n")
+	_, jobs, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 || jobs[0].ID != 0 || jobs[1].ID != 1 {
+		t.Fatalf("fallback IDs %v", jobs)
+	}
+}
+
+// TestReadRejectsMalformedMaxNodes is the regression test for the header
+// bug: a corrupted `; MaxNodes:` value was silently swallowed (the
+// strconv.Atoi error discarded), yielding MaxNodes=0 and quietly
+// degrading downstream machine sizing.
+func TestReadRejectsMalformedMaxNodes(t *testing.T) {
+	for _, in := range []string{
+		"; MaxNodes: banana\n1 0 -1 100 2 -1 -1 2 200 -1 1 -1 -1 -1 -1 -1 -1 -1",
+		"; MaxNodes: -5\n",
+	} {
+		_, _, err := Read(strings.NewReader(in))
+		if err == nil {
+			t.Errorf("malformed MaxNodes accepted: %q", in)
+			continue
+		}
+		if !strings.Contains(err.Error(), "line 1") || !strings.Contains(err.Error(), "MaxNodes") {
+			t.Errorf("error %q does not name line 1 and MaxNodes", err)
+		}
+	}
+	// A well-formed header still parses.
+	h, _, err := Read(strings.NewReader("; MaxNodes: 430\n"))
+	if err != nil || h.MaxNodes != 430 {
+		t.Fatalf("well-formed header: %v, %+v", err, h)
 	}
 }

@@ -36,6 +36,11 @@
 #   bench-smoke  cmd/bench -quick: the perf harness still runs end to
 #                end (tiny benchtime, no BENCH_*.json written), and the
 #                telemetry nil-recorder gate holds (see cmd/bench)
+#   stream-smoke scripts/stream-smoke.sh — a ~1M-job synthetic trace
+#                simulated end-to-end under a GOMEMLIMIT heap ceiling
+#                (the bounded-memory streaming path), plus a 2-shard
+#                grid evaluation merged and compared byte-for-byte
+#                against a single-process run
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -63,6 +68,8 @@ run fuzz-smoke go test -run='^$' -fuzz='^FuzzFailureSchedule$' -fuzztime=500x ./
 
 step=bench-smoke
 echo "==> bench-smoke: go run ./cmd/bench -quick"
-go run ./cmd/bench -quick -out "" -out2 "" -out3 "" >/dev/null
+go run ./cmd/bench -quick -out "" -out2 "" -out3 "" -out4 "" >/dev/null
+
+run stream-smoke ./scripts/stream-smoke.sh
 
 echo "OK: all tier-1 checks passed"

@@ -1,0 +1,44 @@
+#!/bin/sh
+# stream-smoke: the million-job streaming path and the sharded grid
+# evaluation, exercised through the real CLIs (see DESIGN.md §12).
+#
+#   1. Generate a ~1M-job calibrated synthetic SWF trace with the
+#      streaming generator (constant memory on the writer side).
+#   2. Simulate it end-to-end with the bounded-memory streaming engine
+#      under a GOMEMLIMIT-enforced heap ceiling — a ceiling far below
+#      what materializing the jobs and retaining the schedule needs, so
+#      a regression back to O(jobs) memory shows up as a thrashing or
+#      OOM-killed step rather than a silent slowdown.
+#   3. Split a grid evaluation across two shard processes with separate
+#      journals, merge the journals, and check the re-rendered tables
+#      are byte-identical to a single-process run.
+set -eu
+cd "$(dirname "$0")/.."
+
+STREAM_JOBS=${STREAM_JOBS:-1000000}
+STREAM_MEMLIMIT=${STREAM_MEMLIMIT:-192MiB}
+# The cross-check runs the randomized-workload grid at 1/64 scale so the
+# whole three-run comparison stays a smoke test, not a benchmark.
+SHARD_SCALE=${SHARD_SCALE:-64}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/genworkload" ./cmd/genworkload
+go build -o "$tmp/simulate" ./cmd/simulate
+go build -o "$tmp/evaluate" ./cmd/evaluate
+
+echo "--- streaming: $STREAM_JOBS jobs under GOMEMLIMIT=$STREAM_MEMLIMIT"
+"$tmp/genworkload" -kind stream -jobs "$STREAM_JOBS" -out "$tmp/stream.swf"
+GOMEMLIMIT=$STREAM_MEMLIMIT "$tmp/simulate" -stream -workload swf \
+	-in "$tmp/stream.swf" -memstats | tee "$tmp/stream.out"
+grep -q "$STREAM_JOBS (streamed)" "$tmp/stream.out"
+
+echo "--- sharded grid: 2 shards + merge vs single process (scale 1/$SHARD_SCALE)"
+"$tmp/evaluate" -table 5 -scale "$SHARD_SCALE" >"$tmp/single.txt"
+"$tmp/evaluate" -table 5 -scale "$SHARD_SCALE" -shards 2 -shard 0 -journal "$tmp/s0.jsonl" >/dev/null
+"$tmp/evaluate" -table 5 -scale "$SHARD_SCALE" -shards 2 -shard 1 -journal "$tmp/s1.jsonl" >/dev/null
+"$tmp/evaluate" -merge "$tmp/merged.jsonl" "$tmp/s0.jsonl" "$tmp/s1.jsonl"
+"$tmp/evaluate" -table 5 -scale "$SHARD_SCALE" -journal "$tmp/merged.jsonl" -resume >"$tmp/merged.txt"
+cmp "$tmp/single.txt" "$tmp/merged.txt"
+echo "shard merge is byte-identical to the single-process run"
