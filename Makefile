@@ -16,8 +16,10 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Repo-specific static analysis (internal/lint, DESIGN.md §9), then the
-# suppression-budget audit.
+# Repo-specific static analysis (internal/lint, DESIGN.md §9 and §13):
+# the full analyzer suite — including the protocol-aware contract
+# analyzers (passprotocol, streamcontract, journalsync, errflow) — then
+# the suppression-budget audit with its per-analyzer ceilings.
 lint:
 	$(GO) run ./cmd/jobschedlint ./...
 	./scripts/lint-budget.sh

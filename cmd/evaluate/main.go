@@ -244,8 +244,11 @@ func run(full bool, scale, table int, csvDir string, nodes int, seed int64, trac
 			if err != nil {
 				return err
 			}
-			defer f.Close()
 			if err := g.CSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
 				return err
 			}
 			fmt.Printf("  (series written to %s)\n\n", path)

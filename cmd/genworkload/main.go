@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"jobsched/internal/job"
@@ -152,17 +153,26 @@ func run(kind string, n int, out string, seed int64) error {
 		return fmt.Errorf("unknown kind %q", kind)
 	}
 
-	w := os.Stdout
+	w := io.Writer(os.Stdout)
+	var f *os.File
 	if out != "" {
-		f, err := os.Create(out)
+		var err error
+		f, err = os.Create(out)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
 		w = f
 	}
 	if err := trace.Write(w, header, jobs); err != nil {
+		if f != nil {
+			f.Close()
+		}
 		return err
+	}
+	if f != nil {
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 	s := trace.Summarize(jobs)
 	fmt.Fprintf(os.Stderr, "genworkload: %d jobs, span %d s, mean nodes %.1f, mean runtime %.0f s, overestimation %.1fx\n",

@@ -1,8 +1,16 @@
 // Command jobschedlint runs jobsched's repo-specific static-analysis
-// suite (internal/lint): the determinism, wallclock-hygiene,
-// telemetry-guard, checked-arithmetic and sim-purity analyzers that
+// suite (internal/lint): the determinism (maprange), wallclock-hygiene,
+// telemetry-guard, checked-arithmetic and sim-purity analyzers, plus the
+// protocol-aware contract analyzers — passprotocol (kernel batch passes
+// open and close in one frame), streamcontract (Source.Next sentinel
+// handling, no Sink+Validate, bounded job retention), journalsync
+// (fsync-before-rename and success-only journal appends) and errflow
+// (no silently dropped errors in the core layers). Together they
 // mechanically enforce the invariants the paper's evaluation methodology
-// assumes (replayable simulations, order-independent results).
+// assumes (replayable simulations, order-independent results, crash-safe
+// evaluation). The wallclock and simpurity checks propagate transitively
+// over each package's call graph, so wrapping a violation in a helper
+// moves the diagnostic instead of silencing it.
 //
 // Usage:
 //

@@ -84,16 +84,34 @@ func run(days int, seed int64, csv string) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		fmt.Fprintln(f, "set,label,drug_response_s,course_miss_pct,rank")
-		for _, p := range ranked {
-			fmt.Fprintf(f, "figure1,%s,%g,%g,%d\n", p.Label, p.Criteria[0], p.Criteria[1], p.Rank)
+		// bufio-free writes: the first failed Fprint latches no state, so
+		// every row's error and the Close error must both be surfaced.
+		werr := func() error {
+			if _, err := fmt.Fprintln(f, "set,label,drug_response_s,course_miss_pct,rank"); err != nil {
+				return err
+			}
+			for _, p := range ranked {
+				if _, err := fmt.Fprintf(f, "figure1,%s,%g,%g,%d\n", p.Label, p.Criteria[0], p.Criteria[1], p.Rank); err != nil {
+					return err
+				}
+			}
+			for _, p := range online {
+				if _, err := fmt.Fprintf(f, "online,%s,%g,%g,\n", p.Label, p.Criteria[0], p.Criteria[1]); err != nil {
+					return err
+				}
+			}
+			for _, p := range offline {
+				if _, err := fmt.Fprintf(f, "offline,%s,%g,%g,\n", p.Label, p.Criteria[0], p.Criteria[1]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}()
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
 		}
-		for _, p := range online {
-			fmt.Fprintf(f, "online,%s,%g,%g,\n", p.Label, p.Criteria[0], p.Criteria[1])
-		}
-		for _, p := range offline {
-			fmt.Fprintf(f, "offline,%s,%g,%g,\n", p.Label, p.Criteria[0], p.Criteria[1])
+		if werr != nil {
+			return werr
 		}
 		fmt.Printf("\n(points written to %s)\n", csv)
 	}

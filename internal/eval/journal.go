@@ -183,13 +183,17 @@ func (j *Journal) Fingerprint() (uint64, bool) {
 	return j.stamp, j.stamped
 }
 
-// MergeJournals unions several shard journals into dst (truncating it).
+// MergeJournals unions several shard journals into dst (replacing it).
 // Every stamped source must carry the same fingerprint — shards of one
 // evaluation by construction — and dst inherits it. Duplicate cells
 // (e.g. from overlapping resumes) keep their first occurrence. The
 // merged journal is a normal journal: opening it with resume and
 // re-running the evaluation restores every cell without simulating and
 // renders byte-identically to a single-process run.
+//
+// The merge is atomic: it is written to a temp file, fsynced, and
+// renamed over dst only on success, so a failed or interrupted merge
+// never destroys an existing journal at dst.
 func MergeJournals(dst string, srcs ...string) error {
 	if len(srcs) == 0 {
 		return fmt.Errorf("eval: merge needs at least one source journal")
@@ -223,26 +227,40 @@ func MergeJournals(dst string, srcs ...string) error {
 			order = append(order, rec)
 		}
 	}
-	out, err := OpenJournal(dst, false)
+	tmp := dst + ".merge.tmp"
+	out, err := OpenJournal(tmp, false)
 	if err != nil {
 		return err
 	}
-	defer out.Close()
-	if stamped {
-		if err := out.Stamp(stamp); err != nil {
-			return err
+	err = func() error {
+		if stamped {
+			if err := out.Stamp(stamp); err != nil {
+				return err
+			}
 		}
+		for _, rec := range order {
+			c, err := caseFromString(rec.Case)
+			if err != nil {
+				return fmt.Errorf("eval: merge: %w", err)
+			}
+			if err := out.Record(rec.Grid, c, rec.cell()); err != nil {
+				return err
+			}
+		}
+		// Record fsyncs every line, but an empty merge (all sources torn or
+		// blank) writes none; sync unconditionally so the rename below never
+		// publishes an undurable file.
+		return out.f.Sync()
+	}()
+	if cerr := out.Close(); err == nil {
+		err = cerr
 	}
-	for _, rec := range order {
-		c, err := caseFromString(rec.Case)
-		if err != nil {
-			return fmt.Errorf("eval: merge: %w", err)
-		}
-		if err := out.Record(rec.Grid, c, rec.cell()); err != nil {
-			return err
-		}
+	if err != nil {
+		// The merge failed and its error wins; the temp file is garbage.
+		_ = os.Remove(tmp)
+		return err
 	}
-	return nil
+	return os.Rename(tmp, dst)
 }
 
 func caseFromString(s string) (Case, error) {

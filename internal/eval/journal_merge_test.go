@@ -1,0 +1,95 @@
+package eval
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Regression: a failed merge must leave an existing journal at dst
+// untouched. MergeJournals used to open dst with truncation before
+// reading could fail, so merging a corrupt source destroyed the good
+// journal it was meant to replace. The merge now writes a temp file and
+// renames it over dst only on success.
+func TestMergeJournalsFailureLeavesDstIntact(t *testing.T) {
+	dir := t.TempDir()
+
+	dst := filepath.Join(dir, "merged.jsonl")
+	j, err := OpenJournal(dst, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("precious", Unweighted, Cell{Order: "FCFS", Start: "EASY", Value: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A source whose record parses but carries an unknown case name: the
+	// merge fails only after it has started writing output.
+	bad := filepath.Join(dir, "bad.jsonl")
+	line := `{"grid":"g","case":"no-such-case","order":"FCFS","start":"EASY","value":1}` + "\n"
+	if err := os.WriteFile(bad, []byte(line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	err = MergeJournals(dst, bad)
+	if err == nil || !strings.Contains(err.Error(), "unknown case") {
+		t.Fatalf("merge of corrupt source: got %v, want unknown-case error", err)
+	}
+	after, readErr := os.ReadFile(dst)
+	if readErr != nil {
+		t.Fatalf("dst journal gone after failed merge: %v", readErr)
+	}
+	if string(after) != string(before) {
+		t.Fatalf("failed merge rewrote dst:\nbefore: %q\nafter:  %q", before, after)
+	}
+
+	// No temp litter left behind.
+	matches, err := filepath.Glob(dst + "*.tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Errorf("failed merge left temp files: %v", matches)
+	}
+}
+
+// A successful merge replaces dst atomically and the result is a normal
+// resumable journal.
+func TestMergeJournalsReplacesDst(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.jsonl")
+	j, err := OpenJournal(src, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("g", Weighted, Cell{Order: "PSRS", Start: "LIST", Value: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := filepath.Join(dir, "out.jsonl")
+	if err := os.WriteFile(dst, []byte("stale content, not even a journal\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := MergeJournals(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := OpenJournal(dst, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer merged.Close()
+	if _, ok := merged.Lookup("g", Weighted, "PSRS", "LIST"); !ok {
+		t.Error("merged journal lost the source cell")
+	}
+}

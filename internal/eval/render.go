@@ -17,10 +17,14 @@ func (g *Grid) Render(w io.Writer) error {
 		g.Title, g.Case, g.Jobs, g.Machine.Nodes); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "%-14s %-22s %-22s %-22s\n", "",
-		"Listscheduler", "Backfilling", "EASY-Backfilling")
-	fmt.Fprintf(w, "%-14s %-11s %-10s %-11s %-10s %-11s %-10s\n", "",
-		"sec", "pct", "sec", "pct", "sec", "pct")
+	if _, err := fmt.Fprintf(w, "%-14s %-22s %-22s %-22s\n", "",
+		"Listscheduler", "Backfilling", "EASY-Backfilling"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-14s %-11s %-10s %-11s %-10s %-11s %-10s\n", "",
+		"sec", "pct", "sec", "pct", "sec", "pct"); err != nil {
+		return err
+	}
 	for _, o := range sched.GridOrders() {
 		row := fmt.Sprintf("%-14s", o)
 		for _, s := range starts {
@@ -91,15 +95,26 @@ func (g *Grid) RenderComputeTime(w io.Writer) error {
 		g.Title, g.Case); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "%-14s %-14s %-16s\n", "", "Listscheduler", "EASY-Backfilling")
-	fmt.Fprintf(w, "%-14s %-14s %-16s\n", "FCFS",
-		pct(sched.OrderFCFS, sched.StartList), pct(sched.OrderFCFS, sched.StartEASY))
-	fmt.Fprintf(w, "%-14s %-14s %-16s\n", "PSRS",
-		pct(sched.OrderPSRS, sched.StartList), pct(sched.OrderPSRS, sched.StartEASY))
-	fmt.Fprintf(w, "%-14s %-14s %-16s\n", "SMART",
-		smartPct(sched.StartList), smartPct(sched.StartEASY))
-	fmt.Fprintf(w, "%-14s %-14s\n", "Garey&Graham",
-		pct(sched.OrderGG, sched.StartList))
+	rows := [][]string{
+		{"%-14s %-14s %-16s\n", "", "Listscheduler", "EASY-Backfilling"},
+		{"%-14s %-14s %-16s\n", "FCFS",
+			pct(sched.OrderFCFS, sched.StartList), pct(sched.OrderFCFS, sched.StartEASY)},
+		{"%-14s %-14s %-16s\n", "PSRS",
+			pct(sched.OrderPSRS, sched.StartList), pct(sched.OrderPSRS, sched.StartEASY)},
+		{"%-14s %-14s %-16s\n", "SMART",
+			smartPct(sched.StartList), smartPct(sched.StartEASY)},
+		{"%-14s %-14s\n", "Garey&Graham",
+			pct(sched.OrderGG, sched.StartList)},
+	}
+	for _, row := range rows {
+		args := make([]any, len(row)-1)
+		for i, cell := range row[1:] {
+			args[i] = cell
+		}
+		if _, err := fmt.Fprintf(w, row[0], args...); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,85 @@
+package eval
+
+import (
+	"errors"
+	"testing"
+)
+
+var errWriterFull = errors.New("writer full")
+
+// failNthWriter fails exactly the n-th Write call (1-based) and succeeds
+// on every other — the sharpest probe for a dropped error: if the failing
+// write's error is swallowed, every later write succeeds and a buggy
+// render returns nil.
+type failNthWriter struct {
+	fail  int
+	calls int
+}
+
+func (w *failNthWriter) Write(p []byte) (int, error) {
+	w.calls++
+	if w.calls == w.fail {
+		return 0, errWriterFull
+	}
+	return len(p), nil
+}
+
+// failFromWriter fails every Write from the n-th on (1-based).
+type failFromWriter struct {
+	fail  int
+	calls int
+}
+
+func (w *failFromWriter) Write(p []byte) (int, error) {
+	w.calls++
+	if w.calls >= w.fail {
+		return 0, errWriterFull
+	}
+	return len(p), nil
+}
+
+// Regression: Render, RenderComputeTime, and CSV must propagate a write
+// error no matter which write trips. Header lines 2–3 of Render and the
+// body rows of RenderComputeTime used to drop their fmt.Fprintf errors,
+// so a transient failure mid-table returned nil and the caller shipped a
+// truncated table as if it were complete.
+func TestRenderPropagatesEveryWriteError(t *testing.T) {
+	g := goldenGrid()
+	renders := []struct {
+		name   string
+		render func(w *failNthWriter) error
+	}{
+		{"Render", func(w *failNthWriter) error { return g.Render(w) }},
+		{"RenderComputeTime", func(w *failNthWriter) error { return g.RenderComputeTime(w) }},
+		{"CSV", func(w *failNthWriter) error { return g.CSV(w) }},
+	}
+	for _, r := range renders {
+		probe := &failNthWriter{fail: -1}
+		if err := r.render(probe); err != nil {
+			t.Fatalf("%s: failed on a healthy writer: %v", r.name, err)
+		}
+		if probe.calls < 2 {
+			t.Fatalf("%s: expected several writes, got %d", r.name, probe.calls)
+		}
+		for k := 1; k <= probe.calls; k++ {
+			w := &failNthWriter{fail: k}
+			if err := r.render(w); !errors.Is(err, errWriterFull) {
+				t.Errorf("%s: write %d/%d failed but render returned %v; the caller would ship a truncated table",
+					r.name, k, probe.calls, err)
+			}
+		}
+	}
+}
+
+// A failed render must stop at the failing write, not push more output
+// at a broken writer.
+func TestRenderStopsAtFirstWriteError(t *testing.T) {
+	g := goldenGrid()
+	w := &failFromWriter{fail: 2}
+	if err := g.Render(w); !errors.Is(err, errWriterFull) {
+		t.Fatalf("Render on a failing writer returned %v", err)
+	}
+	if w.calls != 2 {
+		t.Errorf("Render kept writing after the first error: %d write attempts, want 2", w.calls)
+	}
+}

@@ -60,10 +60,17 @@ var corpusCases = []struct {
 	{"maprange", "testdata/maprange", "jobsched/internal/sim/fixture"},
 	{"wallclock", "testdata/wallclock", "jobsched/internal/workload/fixture"},
 	{"wallclock", "testdata/wallclock_allow", "jobsched/internal/sim"},
+	{"wallclock", "testdata/wallclock_transitive", "jobsched/internal/sim"},
 	{"telemetryguard", "testdata/telemetryguard", "jobsched/internal/sched/fixture"},
 	{"checkedarith", "testdata/checkedarith", "jobsched/internal/objective/fixture"},
 	{"checkedarith", "testdata/checkedarith_helpers", "jobsched/internal/job"},
 	{"simpurity", "testdata/simpurity", "jobsched/internal/profile/fixture"},
+	{"simpurity", "testdata/simpurity_transitive", "jobsched/internal/sched/fixture"},
+	{"passprotocol", "testdata/passprotocol", "jobsched/internal/sched/fixture"},
+	{"streamcontract", "testdata/streamcontract", "jobsched/internal/cli/fixture"},
+	{"streamcontract", "testdata/streamcontract_sim", "jobsched/internal/sim"},
+	{"journalsync", "testdata/journalsync", "jobsched/internal/eval/fixture"},
+	{"errflow", "testdata/errflow", "jobsched/internal/trace/fixture"},
 }
 
 // TestAnalyzerCorpus runs every analyzer over its golden fixture
@@ -127,6 +134,10 @@ func TestScopeFiltering(t *testing.T) {
 		{"checkedarith", "testdata/checkedarith", "jobsched/internal/stats"},
 		{"simpurity", "testdata/simpurity", "jobsched/internal/cli"},
 		{"wallclock", "testdata/wallclock", "jobsched/cmd/bench"},
+		{"passprotocol", "testdata/passprotocol", "jobsched/internal/profile"},
+		{"streamcontract", "testdata/streamcontract_sim", "jobsched/internal/stats"},
+		{"journalsync", "testdata/journalsync", "jobsched/internal/sim"},
+		{"errflow", "testdata/errflow", "jobsched/internal/cli"},
 	}
 	for _, tc := range cases {
 		pkg, err := LoadDir(tc.dir, tc.path)
@@ -162,7 +173,8 @@ func TestCorpusCoversAllAnalyzers(t *testing.T) {
 // TestAnalyzerMetadata pins names and docs (they appear in directives
 // and diagnostics, so renames are breaking changes).
 func TestAnalyzerMetadata(t *testing.T) {
-	want := []string{"maprange", "wallclock", "telemetryguard", "checkedarith", "simpurity"}
+	want := []string{"maprange", "wallclock", "telemetryguard", "checkedarith", "simpurity",
+		"passprotocol", "streamcontract", "journalsync", "errflow"}
 	all := Analyzers()
 	if len(all) != len(want) {
 		t.Fatalf("Analyzers() = %d analyzers, want %d", len(all), len(want))

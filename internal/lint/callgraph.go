@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The protocol analyzers need to see through helpers: a wall-clock read
+// wrapped in a package-local function, or a kernel pass opened in one
+// function and closed in another, is invisible to purely per-call-site
+// checks. callGraph is the minimal cross-function infrastructure that
+// closes the gap — a package-local static call graph over the declared
+// functions and methods, built from the typed syntax trees alone (no
+// x/tools). Calls through function values and interfaces of other
+// packages are out of reach by design; the analyzers that use the graph
+// are explicit about that boundary.
+type callGraph struct {
+	// decls maps each declared function or method to its syntax.
+	decls map[*types.Func]*ast.FuncDecl
+	// order lists the declared functions in source order (files sorted by
+	// name, declarations by position) so iteration is deterministic.
+	order []*types.Func
+	// calls lists, per declared function, the package-local calls its
+	// body makes (function literals attribute to the enclosing
+	// declaration), in source order.
+	calls map[*types.Func][]callSite
+}
+
+// callSite is one package-local call edge: the callee and the position
+// of the call expression in the caller's body.
+type callSite struct {
+	callee *types.Func
+	pos    token.Pos
+}
+
+// buildCallGraph constructs the package-local call graph.
+func (p *Package) buildCallGraph() *callGraph {
+	g := &callGraph{
+		decls: map[*types.Func]*ast.FuncDecl{},
+		calls: map[*types.Func][]callSite{},
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.decls[fn] = fd
+			g.order = append(g.order, fn)
+		}
+	}
+	for _, fn := range g.order {
+		fd := g.decls[fn]
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := p.calleeFunc(call)
+			if callee == nil || callee.Pkg() != p.Types {
+				return true
+			}
+			if _, declared := g.decls[callee]; !declared {
+				return true // e.g. an interface method of this package
+			}
+			g.calls[fn] = append(g.calls[fn], callSite{callee: callee, pos: call.Pos()})
+			return true
+		})
+	}
+	return g
+}
+
+// effectKind classifies an impure primitive for purity propagation.
+type effectKind int
+
+const (
+	effectWallclock effectKind = iota
+	effectGlobalRand
+	effectStdout
+	numEffectKinds
+)
+
+// effect is one impure primitive reachable from a function: the kind,
+// the primitive call's position, and a short description ("time.Now",
+// "fmt.Println") for diagnostics.
+type effect struct {
+	kind effectKind
+	pos  token.Pos
+	desc string
+}
+
+// propagateEffects closes the direct per-function effect sets over the
+// call graph: a function carries every effect of every package-local
+// function it (transitively) calls. The result keeps one representative
+// effect per kind — the one with the smallest position, so diagnostics
+// are deterministic and name the same origin on every run. Recursion
+// (direct or mutual) is handled by fixed-point iteration: with at most
+// one effect per kind and monotone merging, the sets stabilize in at
+// most numEffectKinds passes over the graph.
+func propagateEffects(g *callGraph, direct map[*types.Func][]effect) map[*types.Func][]effect {
+	// closed[fn][kind] is the minimal-position effect of that kind.
+	closed := map[*types.Func]*[numEffectKinds]*effect{}
+	slot := func(fn *types.Func) *[numEffectKinds]*effect {
+		s := closed[fn]
+		if s == nil {
+			s = &[numEffectKinds]*effect{}
+			closed[fn] = s
+		}
+		return s
+	}
+	merge := func(dst *[numEffectKinds]*effect, e effect) bool {
+		cur := dst[e.kind]
+		if cur == nil || e.pos < cur.pos {
+			e := e
+			dst[e.kind] = &e
+			return true
+		}
+		return false
+	}
+	for fn, effs := range direct {
+		s := slot(fn)
+		for _, e := range effs {
+			merge(s, e)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range g.order {
+			s := slot(fn)
+			for _, cs := range g.calls[fn] {
+				if callee := closed[cs.callee]; callee != nil {
+					for _, e := range callee {
+						if e != nil && merge(s, *e) {
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+	out := map[*types.Func][]effect{}
+	for fn, s := range closed {
+		for _, e := range s {
+			if e != nil {
+				out[fn] = append(out[fn], *e)
+			}
+		}
+	}
+	return out
+}
+
+// effectsOfKinds filters a function's effect set to the given kinds,
+// returning the minimal-position match or nil.
+func effectsOfKinds(effs []effect, kinds ...effectKind) *effect {
+	var best *effect
+	for i := range effs {
+		e := &effs[i]
+		for _, k := range kinds {
+			if e.kind == k && (best == nil || e.pos < best.pos) {
+				best = e
+			}
+		}
+	}
+	return best
+}
+
+// originLabel renders an effect origin for a diagnostic: the primitive
+// and its basename:line position ("time.Now at engine.go:42").
+func (p *Package) originLabel(e *effect) string {
+	pos := p.Fset.Position(e.pos)
+	return fmt.Sprintf("%s at %s:%d", e.desc, p.baseFilename(e.pos), pos.Line)
+}

@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errFlowScope: the layers whose errors carry correctness information —
+// a swallowed error here silently corrupts a simulation result, a
+// journal, or a rendered table. cmd/ is excluded: main functions
+// terminate on error by construction and the CLI owns its own exit
+// discipline.
+var errFlowScope = []string{
+	"jobsched/internal/sim",
+	"jobsched/internal/sched",
+	"jobsched/internal/profile",
+	"jobsched/internal/eval",
+	"jobsched/internal/trace",
+	"jobsched/internal/faults",
+}
+
+// infallibleWriters are receiver types whose Write* methods are
+// documented to always return a nil error; dropping those results is
+// conventional Go.
+func isInfallibleWriter(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() + "." + obj.Name() {
+	case "bytes.Buffer", "strings.Builder":
+		return true
+	}
+	return false
+}
+
+// ErrFlowAnalyzer returns the unchecked-error analyzer for the
+// simulation, scheduling, profile, evaluation, trace, and fault layers.
+// Two disciplines:
+//
+//   - a call whose (final) result is an error must not stand alone as a
+//     statement, a defer, or a go statement — the error vanishes. The
+//     classic victim is `defer f.Close()` on a file that was written:
+//     close is where buffered write errors surface.
+//   - discarding an error with `_` is allowed, but only with a reason: a
+//     comment on the same line or the line directly above. An unexplained
+//     `_ = run()` is indistinguishable from a forgotten check.
+//
+// Exempt: methods on *bytes.Buffer and *strings.Builder (documented to
+// never fail) and fmt.Fprint* aimed at them or at os.Stderr (best-effort
+// diagnostics).
+func ErrFlowAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "errflow",
+		Doc:  "errors in the sim/sched/profile/eval/trace/faults layers are checked, or discarded with a stated reason",
+	}
+	a.Run = func(pass *Pass) {
+		if !inScope(pass.Pkg.Path, errFlowScope) {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			commented := commentLines(pass, f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+						reportUnchecked(pass, call, "")
+					}
+				case *ast.DeferStmt:
+					reportUnchecked(pass, n.Call, "defer ")
+				case *ast.GoStmt:
+					reportUnchecked(pass, n.Call, "go ")
+				case *ast.AssignStmt:
+					checkBlankDiscard(pass, n, commented)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// callErrorResult reports whether the call's (final) result is an error,
+// unless the callee is exempt.
+func callErrorResult(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Pkg.Info.Types[call]
+	if !ok {
+		return false
+	}
+	var last types.Type
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		if t.Len() == 0 {
+			return false
+		}
+		last = t.At(t.Len() - 1).Type()
+	default:
+		last = t
+	}
+	if last == nil || !isErrorType(last) {
+		return false
+	}
+	fn := pass.Pkg.calleeFunc(call)
+	if fn == nil {
+		return true // calls through function values still return errors
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && isInfallibleWriter(sig.Recv().Type()) {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && fprintFuncs[fn.Name()] && len(call.Args) > 0 {
+		if w, ok := pass.Pkg.processStream(call.Args[0]); ok && w == "os.Stderr" {
+			return false // best-effort diagnostics
+		}
+		if tv, ok := pass.Pkg.Info.Types[call.Args[0]]; ok && isInfallibleWriter(tv.Type) {
+			return false
+		}
+	}
+	return true
+}
+
+func reportUnchecked(pass *Pass, call *ast.CallExpr, prefix string) {
+	if !callErrorResult(pass, call) {
+		return
+	}
+	name := flattenExpr(call.Fun)
+	if name == "" {
+		name = "call"
+	}
+	pass.Reportf(call.Pos(), "%s%s returns an error that is never checked: handle it, or discard with `_ =` plus a reason comment", prefix, name)
+}
+
+// commentLines returns the set of line numbers carrying a comment in f.
+// Machine-directed comments — lint directives and the corpus's // want
+// expectations — are not reasons and do not count.
+func commentLines(pass *Pass, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if strings.HasPrefix(text, "lint:ignore") || strings.HasPrefix(text, "want `") {
+				continue
+			}
+			start := pass.Pkg.Fset.Position(c.Pos()).Line
+			end := pass.Pkg.Fset.Position(c.End()).Line
+			for l := start; l <= end; l++ {
+				lines[l] = true
+			}
+		}
+	}
+	return lines
+}
+
+// checkBlankDiscard flags `_` in an error result position when neither
+// the assignment's line nor the one above carries a comment stating why.
+func checkBlankDiscard(pass *Pass, as *ast.AssignStmt, commented map[int]bool) {
+	blankAt := func(lhs ast.Expr, t types.Type) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" || !isErrorType(t) {
+			return
+		}
+		line := pass.Pkg.Fset.Position(as.Pos()).Line
+		if commented[line] || commented[line-1] {
+			return
+		}
+		pass.Reportf(id.Pos(), "error discarded with `_` and no reason: add a comment on this line or the line above saying why the error cannot matter, or handle it")
+	}
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		tv, ok := pass.Pkg.Info.Types[as.Rhs[0]]
+		if !ok {
+			return
+		}
+		tuple, ok := tv.Type.(*types.Tuple)
+		if !ok || tuple.Len() != len(as.Lhs) {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			blankAt(lhs, tuple.At(i).Type())
+		}
+		return
+	}
+	if len(as.Rhs) == len(as.Lhs) {
+		for i, lhs := range as.Lhs {
+			if tv, ok := pass.Pkg.Info.Types[as.Rhs[i]]; ok {
+				blankAt(lhs, tv.Type)
+			}
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// journalSyncScope: the evaluation layer owns the crash-safe journal and
+// the rendered result files; durability discipline is enforced there.
+var journalSyncScope = []string{"jobsched/internal/eval"}
+
+const evalPkgPath = "jobsched/internal/eval"
+
+// JournalSyncAnalyzer returns the journal-durability analyzer. The
+// journal's crash-safety argument (DESIGN §10) rests on three write
+// disciplines that nothing in the type system enforces:
+//
+//   - every (*os.File).Write/WriteString is followed by a Sync on the
+//     same file in the same function — an unsynced append can vanish in
+//     a crash after the cell was reported complete, silently dropping
+//     work on resume;
+//   - os.Rename publishes a file only after its content is on disk: the
+//     rename must be preceded (in the same function) by an fsync —
+//     directly, or through a package-local call that transitively
+//     reaches (*os.File).Sync (e.g. Journal.Record, which syncs every
+//     line);
+//   - Journal.Record is append-on-success only: recording a cell whose
+//     Err field is set would make a transient failure permanent, because
+//     resume trusts journaled cells and never re-runs them.
+func JournalSyncAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "journalsync",
+		Doc:  "journal durability: fsync after write and before rename, and never journal a failed cell",
+	}
+	a.Run = func(pass *Pass) {
+		if !inScope(pass.Pkg.Path, journalSyncScope) {
+			return
+		}
+		checkWriteSync(pass)
+		checkRenameSync(pass)
+		checkSuccessOnly(pass)
+	}
+	return a
+}
+
+// isOSFile reports whether t is *os.File.
+func isOSFile(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "os" && obj.Name() == "File"
+}
+
+// osFileMethodCall reports whether the call invokes the named method on
+// an *os.File value, returning the receiver chain key.
+func (p *Package) osFileMethodCall(call *ast.CallExpr, name string) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return "", false
+	}
+	tv, ok := p.Info.Types[sel.X]
+	if !ok || !isOSFile(tv.Type) {
+		return "", false
+	}
+	return flattenExpr(sel.X), true
+}
+
+// checkWriteSync flags (*os.File).Write/WriteString calls with no later
+// Sync on the same receiver chain in the same function.
+func checkWriteSync(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Last Sync position per receiver chain.
+			syncAfter := map[string]token.Pos{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if recv, ok := pass.Pkg.osFileMethodCall(call, "Sync"); ok && recv != "" {
+					if call.Pos() > syncAfter[recv] {
+						syncAfter[recv] = call.Pos()
+					}
+				}
+				return true
+			})
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for _, name := range []string{"Write", "WriteString"} {
+					recv, ok := pass.Pkg.osFileMethodCall(call, name)
+					if !ok {
+						continue
+					}
+					if recv == "" || syncAfter[recv] < call.Pos() {
+						pass.Reportf(call.Pos(), "%s on %q without a later %s.Sync() in this function: an unsynced journal write can vanish in a crash after the cell was reported complete", name, recv, recv)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// syncReachers computes, over the package-local call graph, the set of
+// declared functions that directly or transitively call (*os.File).Sync.
+func syncReachers(pass *Pass, g *callGraph) map[*types.Func]bool {
+	reaches := map[*types.Func]bool{}
+	for _, fn := range g.order {
+		ast.Inspect(g.decls[fn].Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if _, isSync := pass.Pkg.osFileMethodCall(call, "Sync"); isSync {
+				reaches[fn] = true
+			}
+			return true
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range g.order {
+			if reaches[fn] {
+				continue
+			}
+			for _, cs := range g.calls[fn] {
+				if reaches[cs.callee] {
+					reaches[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return reaches
+}
+
+// checkRenameSync flags os.Rename calls not preceded (in the same
+// function) by an fsync — a direct (*os.File).Sync, or a package-local
+// call that transitively reaches one.
+func checkRenameSync(pass *Pass) {
+	g := pass.Pkg.buildCallGraph()
+	reaches := syncReachers(pass, g)
+	for _, fn := range g.order {
+		var lastSync token.Pos
+		ast.Inspect(g.decls[fn].Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if _, isSync := pass.Pkg.osFileMethodCall(call, "Sync"); isSync {
+				if call.Pos() > lastSync {
+					lastSync = call.Pos()
+				}
+				return true
+			}
+			callee := pass.Pkg.calleeFunc(call)
+			if callee == nil || callee.Pkg() == nil {
+				return true
+			}
+			if callee.Pkg() == pass.Pkg.Types && reaches[callee] {
+				if call.Pos() > lastSync {
+					lastSync = call.Pos()
+				}
+				return true
+			}
+			if callee.Pkg().Path() == "os" && callee.Name() == "Rename" {
+				if lastSync == token.NoPos || lastSync > call.Pos() {
+					pass.Reportf(call.Pos(), "os.Rename without a preceding fsync in this function: rename publishes the file name before its content is durable; Sync the temp file (directly or via a syncing helper) first")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// journalRecordCall reports whether the call is Journal.Record — a
+// method named Record on a receiver whose (possibly pointer) type is
+// named Journal and declared under internal/eval (the fixture corpus
+// defines its own). Returns the cell argument, by convention the last.
+func (p *Package) journalRecordCall(call *ast.CallExpr) (ast.Expr, bool) {
+	fn := p.calleeFunc(call)
+	if fn == nil || fn.Name() != "Record" || fn.Pkg() == nil || !hasPathPrefix(fn.Pkg().Path(), evalPkgPath) {
+		return nil, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || len(call.Args) == 0 {
+		return nil, false
+	}
+	t := sig.Recv().Type()
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Journal" {
+		return nil, false
+	}
+	return call.Args[len(call.Args)-1], true
+}
+
+// checkSuccessOnly flags Journal.Record calls whose cell argument
+// visibly carries an error: a composite literal setting Err to a
+// non-empty value, or an identifier whose Err field was assigned earlier
+// in the function.
+func checkSuccessOnly(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Chains whose .Err field is assigned in this function, with the
+			// position of the first such assignment.
+			errSet := map[string]token.Pos{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				for _, lhs := range as.Lhs {
+					sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+					if !ok || sel.Sel.Name != "Err" {
+						continue
+					}
+					if key := flattenExpr(sel.X); key != "" {
+						if cur, seen := errSet[key]; !seen || as.Pos() < cur {
+							errSet[key] = as.Pos()
+						}
+					}
+				}
+				return true
+			})
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				cellArg, ok := pass.Pkg.journalRecordCall(call)
+				if !ok {
+					return true
+				}
+				if cl, isLit := ast.Unparen(cellArg).(*ast.CompositeLit); isLit {
+					for _, el := range cl.Elts {
+						kv, ok := el.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Err" && !isEmptyString(kv.Value) {
+							pass.Reportf(call.Pos(), "Journal.Record of a cell with Err set: the journal is append-on-success only — a journaled failure is trusted by resume and never re-runs")
+						}
+					}
+					return true
+				}
+				if key := flattenExpr(cellArg); key != "" {
+					if pos, tainted := errSet[key]; tainted && pos < call.Pos() {
+						pass.Reportf(call.Pos(), "Journal.Record of %q after its Err field was assigned: the journal is append-on-success only — a journaled failure is trusted by resume and never re-runs", key)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+func isEmptyString(e ast.Expr) bool {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && lit.Kind == token.STRING && (lit.Value == `""` || lit.Value == "``")
+}

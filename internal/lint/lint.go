@@ -203,6 +203,10 @@ func Analyzers() []*Analyzer {
 		TelemetryGuardAnalyzer(),
 		CheckedArithAnalyzer(),
 		SimPurityAnalyzer(),
+		PassProtocolAnalyzer(),
+		StreamContractAnalyzer(),
+		JournalSyncAnalyzer(),
+		ErrFlowAnalyzer(),
 	}
 }
 

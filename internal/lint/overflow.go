@@ -11,12 +11,16 @@ import (
 // of crashing (the Window.overlap hang and the validateFailures
 // repair-edge overflow are the canonical examples). The engine and the
 // fault generators joined the scope when failure injection started doing
-// At + Duration arithmetic on adversarial schedules.
+// At + Duration arithmetic on adversarial schedules. internal/profile
+// joined when the tree kernel grew subtree aggregates: its end-time and
+// area computations run against Infinity (= MaxInt64) deadline jobs, the
+// exact inputs that wrap raw arithmetic.
 var checkedArithScope = []string{
 	"jobsched/internal/job",
 	"jobsched/internal/objective",
 	"jobsched/internal/sim",
 	"jobsched/internal/faults",
+	"jobsched/internal/profile",
 }
 
 // checkedArithHelpers are the saturating helpers in internal/job/arith.go

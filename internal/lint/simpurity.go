@@ -39,14 +39,27 @@ var stdoutPrinters = map[string]bool{
 	"Print": true, "Printf": true, "Println": true,
 }
 
+// fprintFuncs are the fmt functions whose first argument picks the
+// writer; aimed at os.Stdout or os.Stderr they are process-stream writes
+// in disguise.
+var fprintFuncs = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
 // SimPurityAnalyzer returns the core-purity analyzer: the simulation
 // core must not import I/O packages or print to stdout. Results leave
 // the core as returned values (schedules, metrics, telemetry events);
 // rendering them is the CLI layer's job.
+//
+// Printing is checked transitively over the package-local call graph: a
+// function calling a helper that (through any chain of package-local
+// calls) reaches a process-stream write is flagged at the call edge too,
+// so wrapping the print in a helper moves the diagnostics around but
+// never silences them.
 func SimPurityAnalyzer() *Analyzer {
 	a := &Analyzer{
 		Name: "simpurity",
-		Doc:  "the simulation core stays embeddable: no os/file/network imports, no printing",
+		Doc:  "the simulation core stays embeddable: no os/file/network imports, no printing (transitively through helpers)",
 	}
 	a.Run = func(pass *Pass) {
 		if !inScope(pass.Pkg.Path, simPurityScope) {
@@ -63,29 +76,56 @@ func SimPurityAnalyzer() *Analyzer {
 				}
 			}
 		}
-		pass.Pkg.inspectWithStack(func(n ast.Node, _ []ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			// Builtin print/println write to stderr and escape any Writer
-			// abstraction.
-			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
-				if _, isBuiltin := pass.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin &&
-					(id.Name == "print" || id.Name == "println") {
-					pass.Reportf(call.Pos(), "builtin %s in the simulation core: debugging output must not reach the process streams", id.Name)
+
+		g := pass.Pkg.buildCallGraph()
+		direct := map[*types.Func][]effect{}
+		for _, fn := range g.order {
+			fd := g.decls[fn]
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				// Builtin print/println write to stderr and escape any Writer
+				// abstraction.
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+					if _, isBuiltin := pass.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin &&
+						(id.Name == "print" || id.Name == "println") {
+						direct[fn] = append(direct[fn], effect{kind: effectStdout, pos: call.Pos(), desc: "builtin " + id.Name})
+						pass.Reportf(call.Pos(), "builtin %s in the simulation core: debugging output must not reach the process streams", id.Name)
+					}
+					return true
+				}
+				callee := pass.Pkg.calleeFunc(call)
+				if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "fmt" {
+					return true
+				}
+				if stdoutPrinters[callee.Name()] {
+					direct[fn] = append(direct[fn], effect{kind: effectStdout, pos: call.Pos(), desc: "fmt." + callee.Name()})
+					pass.Reportf(call.Pos(), "fmt.%s writes to process stdout from the simulation core: take an io.Writer or return the data", callee.Name())
+					return true
+				}
+				if fprintFuncs[callee.Name()] && len(call.Args) > 0 {
+					if w, isStream := pass.Pkg.processStream(call.Args[0]); isStream {
+						direct[fn] = append(direct[fn], effect{kind: effectStdout, pos: call.Pos(), desc: "fmt." + callee.Name() + "(" + w + ", …)"})
+						pass.Reportf(call.Pos(), "fmt.%s to %s from the simulation core: process streams are the CLI layer's; take an io.Writer or return the data", callee.Name(), w)
+					}
 				}
 				return true
+			})
+		}
+
+		// Transitive propagation: helpers do not launder process-stream
+		// writes; every package-local call edge into the printing subgraph
+		// is reported with the originating primitive.
+		closed := propagateEffects(g, direct)
+		for _, fn := range g.order {
+			for _, cs := range g.calls[fn] {
+				if e := effectsOfKinds(closed[cs.callee], effectStdout); e != nil {
+					pass.Reportf(cs.pos, "call to %s transitively writes to the process streams (%s): the simulation core must stay embeddable", cs.callee.Name(), pass.Pkg.originLabel(e))
+				}
 			}
-			fn := pass.Pkg.calleeFunc(call)
-			if fn == nil || fn.Pkg() == nil {
-				return true
-			}
-			if fn.Pkg().Path() == "fmt" && stdoutPrinters[fn.Name()] {
-				pass.Reportf(call.Pos(), "fmt.%s writes to process stdout from the simulation core: take an io.Writer or return the data", fn.Name())
-			}
-			return true
-		})
+		}
 	}
 	return a
 }

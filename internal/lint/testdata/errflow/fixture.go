@@ -1,0 +1,95 @@
+// Corpus for the errflow analyzer. Loaded with the synthetic import
+// path jobsched/internal/trace/fixture — inside the layers whose errors
+// carry correctness information.
+package fixture
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func run() error { return nil }
+
+func produce() (int, error) { return 0, nil }
+
+// flaggedDropped: the error evaporates.
+func flaggedDropped() {
+	run() // want `run returns an error that is never checked`
+}
+
+// flaggedDefer: the classic — Close is where buffered write errors
+// surface.
+func flaggedDefer(f *os.File) {
+	defer f.Close() // want `defer f.Close returns an error that is never checked`
+}
+
+// flaggedGo: a goroutine's error return has nowhere to go.
+func flaggedGo() {
+	go run() // want `go run returns an error that is never checked`
+}
+
+// flaggedBlankNoReason: the discard itself is fine, the silence is not.
+func flaggedBlankNoReason() {
+	_ = run() // want `error discarded with ._. and no reason`
+}
+
+// okBlankWithReason: the comment states why the error cannot matter.
+func okBlankWithReason() {
+	// best-effort: the trace here is advisory and a failure only skips it
+	_ = run()
+}
+
+func okBlankSameLine() {
+	_ = run() // advisory: failure only skips the optional trace
+}
+
+// flaggedBlankInTuple: the error slot of a multi-value result.
+func flaggedBlankInTuple(w io.Writer) int {
+	n, _ := w.Write([]byte("x")) // want `error discarded with ._. and no reason`
+	return n
+}
+
+// okCheckedTuple: the non-error results may be blanked freely.
+func okCheckedTuple() error {
+	_, err := produce()
+	return err
+}
+
+// okChecked: the ordinary shape.
+func okChecked() error {
+	if err := run(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// okStderr: best-effort diagnostics to the process error stream.
+func okStderr(msg string) {
+	fmt.Fprintln(os.Stderr, msg)
+}
+
+// okInfallibleBuffer: bytes.Buffer writes are documented to never fail.
+func okInfallibleBuffer(b *bytes.Buffer) {
+	b.WriteString("x")
+	fmt.Fprintf(b, "%d", 1)
+}
+
+// okInfallibleBuilder: strings.Builder likewise.
+func okInfallibleBuilder(sb *strings.Builder) {
+	sb.WriteString("y")
+}
+
+// okNoError: calls without an error result are none of this analyzer's
+// business.
+func okNoError(xs []int) {
+	sort(xs)
+}
+
+func sort(xs []int) {
+	for i := range xs {
+		_ = i
+	} // the loop only exists to use the argument
+}

@@ -1,0 +1,90 @@
+// Corpus for the passprotocol analyzer. Loaded with the synthetic
+// import path jobsched/internal/sched/fixture — a scheduler-side driver
+// of the real profile kernels, where the BeginPass/CommitPass pairing
+// rules apply.
+package fixture
+
+import "jobsched/internal/profile"
+
+// okPaired: the canonical batch pass.
+func okPaired(t *profile.Tree, reqs []profile.StartReq) []int64 {
+	var starts []int64
+	t.BeginPass(0)
+	starts = t.StartMany(reqs, starts)
+	t.CommitPass()
+	return starts
+}
+
+// okDeferred: an immediately-deferred commit covers every exit path,
+// early returns included.
+func okDeferred(t *profile.Tree, reqs []profile.StartReq) []int64 {
+	t.BeginPass(0)
+	defer t.CommitPass()
+	if len(reqs) == 0 {
+		return nil
+	}
+	return t.StartMany(reqs, nil)
+}
+
+// okMidPassReserve: EarliestFit+Reserve mid-pass is exactly the loop
+// StartMany performs — queries and reservations are legal inside a pass.
+func okMidPassReserve(t *profile.Tree) {
+	t.BeginPass(0)
+	at := t.EarliestFit(4, 100, 0)
+	if at != profile.Infinity {
+		t.Reserve(4, at, at+100)
+	}
+	t.CommitPass()
+}
+
+// flaggedEarlyReturn: the error path escapes with the pass still open.
+func flaggedEarlyReturn(t *profile.Tree, reqs []profile.StartReq) []int64 {
+	t.BeginPass(0)
+	if len(reqs) == 0 {
+		return nil // want `return between t.BeginPass and t.CommitPass leaves the pass open`
+	}
+	starts := t.StartMany(reqs, nil)
+	t.CommitPass()
+	return starts
+}
+
+// flaggedNeverCommitted: the pass is opened and simply dropped.
+func flaggedNeverCommitted(t *profile.Tree, reqs []profile.StartReq) {
+	t.BeginPass(0) // want `t.BeginPass is never committed in this block`
+	t.StartMany(reqs, nil)
+}
+
+// flaggedOrphanCommit: a commit with no begin in the same function means
+// the pass was opened elsewhere — the protocol never splits frames.
+func flaggedOrphanCommit(t *profile.Tree) {
+	t.CommitPass() // want `t.CommitPass without a BeginPass on t in this function`
+}
+
+// flaggedMidPassReset: Reset discards the open pass.
+func flaggedMidPassReset(t *profile.Tree) {
+	t.BeginPass(0)
+	t.Reset(8, 0) // want `t.Reset between BeginPass and CommitPass`
+	t.CommitPass()
+}
+
+// flaggedNestedBegin: re-opening drops the first pass's deferred work.
+func flaggedNestedBegin(t *profile.Tree) {
+	t.BeginPass(0)
+	t.BeginPass(1) // want `t.BeginPass between BeginPass and CommitPass`
+	t.CommitPass()
+}
+
+// flaggedCloneMidPass: copying a kernel whose canonical form is relaxed.
+func flaggedCloneMidPass(t, dst *profile.Tree) {
+	t.BeginPass(0)
+	t.CloneInto(dst) // want `t.CloneInto between BeginPass and CommitPass`
+	t.CommitPass()
+}
+
+// okDistinctReceivers: passes on different kernels are independent.
+func okDistinctReceivers(a, b *profile.Tree, reqs []profile.StartReq) {
+	a.BeginPass(0)
+	b.Reset(4, 0)
+	a.StartMany(reqs, nil)
+	a.CommitPass()
+}

@@ -29,6 +29,17 @@ func useOS() string {
 	return os.DevNull
 }
 
+// flaggedFprintStdout: naming the stream explicitly is still a process
+// write, not an injected Writer.
+func flaggedFprintStdout(v int) {
+	fmt.Fprintf(os.Stdout, "value %d\n", v) // want `fmt.Fprintf to os.Stdout from the simulation core`
+}
+
+// flaggedFprintStderr likewise.
+func flaggedFprintStderr(v int) {
+	fmt.Fprintln(os.Stderr, "value", v) // want `fmt.Fprintln to os.Stderr from the simulation core`
+}
+
 // okWriter: rendering through an injected io.Writer is the sanctioned
 // shape.
 func okWriter(w io.Writer, v int) {

@@ -1,0 +1,39 @@
+// Corpus for the simpurity analyzer's transitive propagation. Loaded
+// with the synthetic import path jobsched/internal/sched/fixture —
+// inside the embeddable core, where wrapping a print in a helper must
+// move the diagnostics around, never silence them.
+package fixture
+
+import "fmt"
+
+// emit is the direct violation the helpers below launder.
+func emit(msg string) {
+	fmt.Println(msg) // want `fmt.Println writes to process stdout`
+}
+
+// flaggedHelper reaches the print through one call.
+func flaggedHelper() {
+	emit("pass done") // want `call to emit transitively writes to the process streams \(fmt.Println at fixture.go:\d+\)`
+}
+
+// flaggedDeep reaches it through two.
+func flaggedDeep() {
+	flaggedHelper() // want `call to flaggedHelper transitively writes to the process streams`
+}
+
+// flaggedClosure: function literals attribute to their enclosing
+// declaration, so the laundering is caught inside closures too.
+func flaggedClosure() func() {
+	return func() {
+		emit("from closure") // want `call to emit transitively writes to the process streams`
+	}
+}
+
+// okFormat: pure formatting does not taint callers.
+func okFormat(v int) string {
+	return describe(v)
+}
+
+func describe(v int) string {
+	return fmt.Sprintf("v=%d", v)
+}

@@ -1,0 +1,36 @@
+// Corpus for the streamcontract analyzer's retention rule, which
+// applies only inside the engine package itself. Loaded with the
+// synthetic import path jobsched/internal/sim.
+package sim
+
+import "jobsched/internal/job"
+
+// flaggedRetain grows a job slice with no reset in sight: the O(stream)
+// footprint streaming mode exists to avoid.
+func flaggedRetain(jobs []*job.Job, j *job.Job) []*job.Job {
+	jobs = append(jobs, j) // want `append grows job slice "jobs" without a jobs = jobs\[:0\] reset`
+	return jobs
+}
+
+// flaggedFieldRetain: the same leak through a struct field.
+type collector struct {
+	kept []*job.Job
+}
+
+func (c *collector) flaggedAdd(j *job.Job) {
+	c.kept = append(c.kept, j) // want `append grows job slice "c.kept" without a c.kept = c.kept\[:0\] reset`
+}
+
+// okBatchReuse: the engine's sanctioned pattern — truncate, refill.
+func okBatchReuse(batch []*job.Job, js []*job.Job) []*job.Job {
+	batch = batch[:0]
+	for _, j := range js {
+		batch = append(batch, j)
+	}
+	return batch
+}
+
+// okOtherSlices: only job slices are the retention hazard.
+func okOtherSlices(starts []int64, at int64) []int64 {
+	return append(starts, at)
+}

@@ -1,0 +1,20 @@
+// Corpus for the wallclock analyzer's transitive propagation. Loaded
+// with the synthetic import path jobsched/internal/sim, so this file —
+// named engine.go — sits on the CPU-timing allowlist: its direct clock
+// reads are sanctioned and produce no diagnostics.
+package sim
+
+import "time"
+
+// measureNow is a direct clock read in the allowlisted file: no report
+// here, but the effect is recorded and propagates to callers outside
+// this file.
+func measureNow() int64 {
+	return time.Now().UnixNano()
+}
+
+// okWiring: calling the tainted helper from within the allowlisted file
+// is the measurement plumbing the exemption exists for.
+func okWiring() int64 {
+	return measureNow()
+}

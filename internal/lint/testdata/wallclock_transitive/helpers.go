@@ -1,0 +1,41 @@
+// The non-allowlisted file of the transitive-wallclock corpus: calls
+// into the clock-tainted subgraph of engine.go are violations even
+// though the primitive read lives on the allowlist — the exemption is
+// positional and does not travel with helpers.
+package sim
+
+import "math/rand"
+
+// flaggedWrapper re-exports the allowlisted clock read to the rest of
+// the package.
+func flaggedWrapper() int64 {
+	return measureNow() // want `call to measureNow transitively reads the wall clock \(time.Now at engine.go:\d+\)`
+}
+
+// flaggedDeep: propagation closes over chains, not just direct calls.
+func flaggedDeep() int64 {
+	return flaggedWrapper() // want `call to flaggedWrapper transitively reads the wall clock`
+}
+
+// drawGlobal is a direct global-randomness violation in a
+// non-allowlisted file.
+func drawGlobal() int64 {
+	return rand.Int63() // want `package-level rand.Int63 draws from the process-global generator`
+}
+
+// flaggedRandCaller carries the callee's randomness transitively.
+func flaggedRandCaller() int64 {
+	return drawGlobal() // want `call to drawGlobal transitively draws process-global randomness \(rand.Int63 at helpers.go:\d+\)`
+}
+
+// okPure: calling a pure sibling stays silent.
+func okPure() int64 {
+	return pureSum(3, 4)
+}
+
+func pureSum(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -137,6 +137,28 @@ func enclosingFuncName(stack []ast.Node) string {
 	return ""
 }
 
+// processStream reports whether e denotes os.Stdout or os.Stderr (the
+// package-level vars of the real os package, not a shadowing local) and
+// returns its printable name.
+func (p *Package) processStream(e ast.Expr) (string, bool) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "os" {
+		return "", false
+	}
+	if sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr" {
+		return "os." + sel.Sel.Name, true
+	}
+	return "", false
+}
+
 // fileOf returns the *ast.File containing pos.
 func (p *Package) fileOf(pos token.Pos) *ast.File {
 	for _, f := range p.Files {

@@ -38,49 +38,95 @@ var seededRandConstructors = map[string]bool{
 // drawing from the process-global math/rand state anywhere in
 // internal/... is flagged. Seeded *rand.Rand methods are fine (the
 // receiver carries the seed); the package-level rand functions are not.
+//
+// The check is transitive over the package-local call graph: a function
+// that calls a helper which (through any chain of package-local calls)
+// reaches a wall-clock read carries the violation too, and every call
+// edge into the tainted subgraph from a non-allowlisted file is flagged.
+// This closes the laundering hole where a clock read lives in an
+// allowlisted file (sim/engine.go, eval/grid.go) but is re-exported to
+// the rest of the package through a helper — the allowlist covers the
+// measurement sites, not wrappers around them.
 func WallclockAnalyzer() *Analyzer {
 	a := &Analyzer{
 		Name: "wallclock",
-		Doc:  "no wall-clock reads or unseeded global randomness in the simulation tree",
+		Doc:  "no wall-clock reads or unseeded global randomness in the simulation tree, transitively through package-local helpers",
 	}
 	a.Run = func(pass *Pass) {
 		if !inScope(pass.Pkg.Path, wallclockScope) {
 			return
 		}
-		pass.Pkg.inspectWithStack(func(n ast.Node, _ []ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			fn := pass.Pkg.calleeFunc(call)
-			if fn == nil || fn.Pkg() == nil {
-				return true
-			}
-			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
-				return true // methods (e.g. on a seeded *rand.Rand) are fine
-			}
-			switch fn.Pkg().Path() {
-			case "time":
-				if !wallclockTimeFuncs[fn.Name()] {
+		allowed := func(pos ast.Node) bool {
+			return wallclockAllowedFiles[[2]string{pass.Pkg.Path, pass.Pkg.baseFilename(pos.Pos())}]
+		}
+
+		// Pass 1: direct primitive sites. Each is recorded as an effect of
+		// its enclosing declaration (for propagation) and reported in place
+		// unless its file is allowlisted.
+		g := pass.Pkg.buildCallGraph()
+		direct := map[*types.Func][]effect{}
+		for _, fn := range g.order {
+			fd := g.decls[fn]
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
 					return true
 				}
-				file := pass.Pkg.baseFilename(call.Pos())
-				if wallclockAllowedFiles[[2]string{pass.Pkg.Path, file}] {
-					return true // sanctioned CPU-timing site
+				callee := pass.Pkg.calleeFunc(call)
+				if callee == nil || callee.Pkg() == nil {
+					return true
 				}
-				pass.Reportf(call.Pos(), "time.%s reads the wall clock: simulation results must be a function of the workload alone (allowlisted: the CPU-timing sites in sim/engine.go and eval/grid.go; elsewhere suppress with //lint:ignore wallclock <reason>)", fn.Name())
-			case "math/rand", "math/rand/v2":
-				if seededRandConstructors[fn.Name()] {
-					if hasPathPrefix(pass.Pkg.Path, "jobsched/internal/stats") {
-						return true // the sanctioned seeded-RNG constructors
+				if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+					return true // methods (e.g. on a seeded *rand.Rand) are fine
+				}
+				switch callee.Pkg().Path() {
+				case "time":
+					if !wallclockTimeFuncs[callee.Name()] {
+						return true
 					}
-					pass.Reportf(call.Pos(), "rand.%s outside internal/stats: construct RNGs via stats.NewRand/stats.Split so seeds stay explicit and streams splittable", fn.Name())
-					return true
+					direct[fn] = append(direct[fn], effect{kind: effectWallclock, pos: call.Pos(), desc: "time." + callee.Name()})
+					if allowed(call) {
+						return true // sanctioned CPU-timing site
+					}
+					pass.Reportf(call.Pos(), "time.%s reads the wall clock: simulation results must be a function of the workload alone (allowlisted: the CPU-timing sites in sim/engine.go and eval/grid.go; elsewhere suppress with //lint:ignore wallclock <reason>)", callee.Name())
+				case "math/rand", "math/rand/v2":
+					if seededRandConstructors[callee.Name()] {
+						if hasPathPrefix(pass.Pkg.Path, "jobsched/internal/stats") {
+							return true // the sanctioned seeded-RNG constructors
+						}
+						direct[fn] = append(direct[fn], effect{kind: effectGlobalRand, pos: call.Pos(), desc: "rand." + callee.Name()})
+						pass.Reportf(call.Pos(), "rand.%s outside internal/stats: construct RNGs via stats.NewRand/stats.Split so seeds stay explicit and streams splittable", callee.Name())
+						return true
+					}
+					direct[fn] = append(direct[fn], effect{kind: effectGlobalRand, pos: call.Pos(), desc: "rand." + callee.Name()})
+					pass.Reportf(call.Pos(), "package-level rand.%s draws from the process-global generator: take an explicit seeded *rand.Rand (stats.NewRand) instead", callee.Name())
 				}
-				pass.Reportf(call.Pos(), "package-level rand.%s draws from the process-global generator: take an explicit seeded *rand.Rand (stats.NewRand) instead", fn.Name())
+				return true
+			})
+		}
+
+		// Pass 2: transitive propagation. Every package-local call edge
+		// from a non-allowlisted file into a function whose closure reaches
+		// a clock or global-rand primitive is a violation of its own — the
+		// purity exemption is positional and does not travel with helpers.
+		closed := propagateEffects(g, direct)
+		for _, fn := range g.order {
+			for _, cs := range g.calls[fn] {
+				effs := closed[cs.callee]
+				if len(effs) == 0 {
+					continue
+				}
+				if wallclockAllowedFiles[[2]string{pass.Pkg.Path, pass.Pkg.baseFilename(cs.pos)}] {
+					continue // wiring within the allowlisted measurement file
+				}
+				if e := effectsOfKinds(effs, effectWallclock); e != nil {
+					pass.Reportf(cs.pos, "call to %s transitively reads the wall clock (%s): the CPU-timing exemption covers the allowlisted file, not helpers that re-export it", cs.callee.Name(), pass.Pkg.originLabel(e))
+				}
+				if e := effectsOfKinds(effs, effectGlobalRand); e != nil {
+					pass.Reportf(cs.pos, "call to %s transitively draws process-global randomness (%s): thread an explicit seeded *rand.Rand instead", cs.callee.Name(), pass.Pkg.originLabel(e))
+				}
 			}
-			return true
-		})
+		}
 	}
 	return a
 }

@@ -1,5 +1,7 @@
 package profile
 
+import "jobsched/internal/job"
+
 // Kernel is the availability-profile operation set shared by the three
 // implementations in this package:
 //
@@ -68,13 +70,10 @@ type StartReq struct {
 
 // satEnd returns at+duration saturated to Infinity on overflow (the
 // convention every EarliestFit caller in this package uses for
-// reservation ends).
+// reservation ends). Times are non-negative, so job.AddSat's MaxInt64
+// ceiling is exactly Infinity.
 func satEnd(at, duration int64) int64 {
-	end := at + duration
-	if end < at {
-		return Infinity
-	}
-	return end
+	return job.AddSat(at, duration)
 }
 
 // startManySequential is the shared batch-pass reference loop: place each

@@ -39,6 +39,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"jobsched/internal/job"
 )
 
 // Infinity is the time horizon of the last step.
@@ -306,10 +308,7 @@ func (p *Profile) EarliestFit(nodes int, duration int64, notBefore int64) int64 
 		// begins at the profile start.
 		start = p.steps[anchor].at
 	}
-	end := start + duration
-	if end < 0 { // overflow near Infinity
-		end = Infinity
-	}
+	end := satEnd(start, duration)
 	for j := anchor; j < len(p.steps); j++ {
 		if p.steps[j].free < nodes {
 			if j+1 >= len(p.steps) {
@@ -320,10 +319,7 @@ func (p *Profile) EarliestFit(nodes int, duration int64, notBefore int64) int64 
 			// Blocked: skip ahead. The window restarts at the end of the
 			// blocking step; steps before j+1 are never revisited.
 			start = p.steps[j+1].at
-			end = start + duration
-			if end < 0 {
-				end = Infinity
-			}
+			end = satEnd(start, duration)
 			continue
 		}
 		segEnd := Infinity
@@ -375,7 +371,7 @@ func (p *Profile) BeginPass(now int64) {
 // that loop here).
 func (p *Profile) StartMany(reqs []StartReq, starts []int64) []int64 {
 	if p.stats != nil {
-		p.stats.BatchedStarts += int64(len(reqs))
+		p.stats.BatchedStarts = job.AddSat(p.stats.BatchedStarts, int64(len(reqs)))
 	}
 	return startManySequential(p, reqs, p.passNow, starts)
 }

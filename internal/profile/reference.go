@@ -210,10 +210,7 @@ func (p *Reference) EarliestFit(nodes int, duration int64, notBefore int64) int6
 			start = p.steps[i].at
 		}
 		// Check the window [start, start+duration) stays feasible.
-		end := start + duration
-		if end < 0 { // overflow
-			end = Infinity
-		}
+		end := satEnd(start, duration)
 		ok := true
 		for j := i; j < len(p.steps) && p.steps[j].at < end; j++ {
 			if p.steps[j].free < nodes {

@@ -1,6 +1,10 @@
 package profile
 
-import "fmt"
+import (
+	"fmt"
+
+	"jobsched/internal/job"
+)
 
 // Stats counts availability-profile kernel operations. It is the
 // telemetry hook for profile-heavy schedulers: attach one Stats to a
@@ -37,9 +41,15 @@ type Stats struct {
 	TreeRebalances int64
 }
 
-// Total returns the summed operation count.
+// Total returns the summed operation count, saturating rather than
+// wrapping on pathological counter magnitudes.
 func (s *Stats) Total() int64 {
-	return s.EarliestFit + s.Reserve + s.ReserveClamped + s.Release + s.FreeAt + s.MinFree + s.Resets
+	var total int64
+	for _, c := range []int64{s.EarliestFit, s.Reserve, s.ReserveClamped,
+		s.Release, s.FreeAt, s.MinFree, s.Resets} {
+		total = job.AddSat(total, c)
+	}
+	return total
 }
 
 // String renders the counters compactly for reports. The clamped-reserve,

@@ -3,6 +3,8 @@ package profile
 import (
 	"fmt"
 	"strings"
+
+	"jobsched/internal/job"
 )
 
 // Tree is the O(log S) availability-profile kernel: the canonical step
@@ -814,10 +816,7 @@ func (t *Tree) efWalk(i int32, acc int, s *efState) {
 			if v >= s.w {
 				s.seeking = false
 				s.start = n.key
-				s.end = s.start + s.duration
-				if s.end < 0 { // overflow near Infinity
-					s.end = Infinity
-				}
+				s.end = satEnd(s.start, s.duration)
 			}
 		} else if v < s.w {
 			if n.key >= s.end {
@@ -860,10 +859,7 @@ func (t *Tree) EarliestFit(nodes int, duration int64, notBefore int64) int64 {
 		start = t.pool[cover].key
 	}
 	s := efState{w: nodes, duration: duration, anchor: t.pool[cover].key, start: start}
-	s.end = start + duration
-	if s.end < 0 { // overflow near Infinity
-		s.end = Infinity
-	}
+	s.end = satEnd(start, duration)
 	t.efWalk(t.root, 0, &s)
 	if s.done || !s.seeking {
 		// The walk ran out of steps while scanning: the final step extends
@@ -894,7 +890,7 @@ func (t *Tree) BeginPass(now int64) {
 // exactly that).
 func (t *Tree) StartMany(reqs []StartReq, starts []int64) []int64 {
 	if t.stats != nil {
-		t.stats.BatchedStarts += int64(len(reqs))
+		t.stats.BatchedStarts = job.AddSat(t.stats.BatchedStarts, int64(len(reqs)))
 	}
 	return startManySequential(t, reqs, t.passNow, starts)
 }

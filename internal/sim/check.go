@@ -15,5 +15,6 @@ import "jobsched/internal/job"
 // schedules unnoticed.
 func RunChecked(m Machine, jobs []*job.Job, s Scheduler, opt Options) (*Result, error) {
 	opt.Validate = true
+	//lint:ignore wallclock Run's only clock use is the CPU-timing measurement in engine.go, gated behind Options.MeasureCPU; forcing Validate on adds no clock reads.
 	return Run(m, jobs, s, opt)
 }

@@ -121,13 +121,16 @@ type Writer struct {
 func NewWriter(w io.Writer, h Header) (*Writer, error) {
 	bw := bufio.NewWriter(w)
 	if h.Computer != "" {
-		fmt.Fprintf(bw, "; Computer: %s\n", h.Computer)
+		// bufio latches the first write error; the Flush below surfaces it.
+		_, _ = fmt.Fprintf(bw, "; Computer: %s\n", h.Computer)
 	}
 	if h.MaxNodes > 0 {
-		fmt.Fprintf(bw, "; MaxNodes: %d\n", h.MaxNodes)
+		// bufio latches the first write error; the Flush below surfaces it.
+		_, _ = fmt.Fprintf(bw, "; MaxNodes: %d\n", h.MaxNodes)
 	}
 	if h.Note != "" {
-		fmt.Fprintf(bw, "; Note: %s\n", h.Note)
+		// bufio latches the first write error; the Flush below surfaces it.
+		_, _ = fmt.Fprintf(bw, "; Note: %s\n", h.Note)
 	}
 	if err := bw.Flush(); err != nil {
 		return nil, err

@@ -12,8 +12,15 @@
 #   lint         go run ./cmd/jobschedlint ./... — the repo-specific
 #                analyzers (determinism, wallclock hygiene, telemetry
 #                guards, checked arithmetic, sim purity); see DESIGN.md §9
+#   lint-protocol the protocol-aware contract analyzers run as their own
+#                named step (passprotocol, streamcontract, journalsync,
+#                errflow; see DESIGN.md §13) so a batch-pass or journal
+#                contract break is named at the gate, not buried in the
+#                full-suite output
 #   lint-budget  scripts/lint-budget.sh — every //lint:ignore directive
-#                must be ledgered with a justification
+#                must be ledgered with a justification, and each
+#                analyzer's live suppression count must stay within its
+#                budget line
 #   build        go build ./... — every package compiles
 #   test-race    go test -race ./... — full suite (incl. the differential
 #                profile oracle and cross-worker determinism tests) under
@@ -57,6 +64,7 @@ run() {
 run vet go vet ./...
 run vet-focus go vet -copylocks -loopclosure -atomic ./...
 run lint go run ./cmd/jobschedlint ./...
+run lint-protocol go run ./cmd/jobschedlint -analyzers passprotocol,streamcontract,journalsync,errflow ./...
 run lint-budget ./scripts/lint-budget.sh
 run build go build ./...
 run test-race go test -race ./...
