@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet lint fuzz-smoke race bench-smoke bench stream-smoke
+.PHONY: check build test vet lint fuzz-smoke race bench-smoke bench bench-compare stream-smoke
 
 # Tier-1 gate: vet + lint + lint-budget + build + race-enabled tests +
 # fuzz smoke + bench smoke (see scripts/check.sh for the step list).
@@ -38,11 +38,18 @@ race:
 
 # Perf-harness smoke run (tiny benchtime, no files written).
 bench-smoke:
-	$(GO) run ./cmd/bench -quick -out "" -out2 "" -out3 "" -out4 ""
+	$(GO) run ./cmd/bench -quick -out "" -out2 "" -out3 "" -out4 "" -out5 ""
 
-# Full perf harness: regenerates BENCH_1/2/3/4.json (see DESIGN.md §7, §11, §12).
+# Full perf harness: regenerates BENCH_1/2/3/4/5.json (see DESIGN.md §7,
+# §11, §12, §14).
 bench:
 	$(GO) run ./cmd/bench
+
+# Opt-in perf-regression gate: fresh quick bench run compared against
+# the committed BENCH_1/5.json on the shape-invariant tracked entries;
+# >25% ns/op regression fails (see cmd/benchcompare, DESIGN.md §14).
+bench-compare:
+	./scripts/bench-compare.sh
 
 # Million-job streaming run under a GOMEMLIMIT ceiling + 2-shard merge
 # cross-check against single-process output (see DESIGN.md §12).

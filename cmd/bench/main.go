@@ -26,10 +26,24 @@
 // protocol. Deep entries run at -benchtime=1x: a single iteration of
 // the quadratic "before" side is already seconds.
 //
+// A fifth report (default BENCH_5.json) is the deep-queue family: the
+// indexed pending-queue layer (internal/queue) against the slice-order
+// protocol. Fixed-shape no-fit pass micros (queue=20000, identical in
+// quick and full mode, so bench-compare can track them) measure one
+// scheduling pass over a queue nothing in which fits; full mode adds
+// the same micros at queue=100000 and end-to-end 100k-queued cells for
+// every order policy × {List, depth-bounded Backfilling, EASY} plus
+// Garey&Graham, each cross-checked makespan-identical between the two
+// protocols.
+//
+// -cpuprofile / -memprofile write standard pprof profiles of the whole
+// run (`go tool pprof` reads them); the heap profile is taken at exit.
+//
 // Usage:
 //
-//	go run ./cmd/bench                                    # full run, writes BENCH_1/2/3.json
-//	go run ./cmd/bench -quick -out "" -out2 "" -out3 ""   # CI smoke: tiny benchtime, no files, perf gate
+//	go run ./cmd/bench                                    # full run, writes BENCH_1/2/3/4/5.json
+//	go run ./cmd/bench -quick -out "" -out2 "" -out3 "" -out4 "" -out5 ""  # CI smoke: tiny benchtime, no files, perf gate
+//	go run ./cmd/bench -quick -cpuprofile cpu.pprof ...   # profile the harness itself
 package main
 
 import (
@@ -43,6 +57,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -115,12 +130,31 @@ func main() {
 	out2 := flag.String("out2", "BENCH_2.json", "telemetry-overhead report path; empty writes to stdout only")
 	out3 := flag.String("out3", "BENCH_3.json", "deep-backlog report path; empty writes to stdout only")
 	out4 := flag.String("out4", "BENCH_4.json", "deep-stream report path; empty writes to stdout only")
+	out5 := flag.String("out5", "BENCH_5.json", "deep-queue report path; empty writes to stdout only")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	benchtime := flag.String("benchtime", "", "override the default benchtime (10x quick, 0.5s full); deep families still run at 1x")
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		// Not deferred: fatal() exits via os.Exit, so the profile is
+		// stopped explicitly at the end of the happy path instead.
+	}
+
 	testing.Init()
-	if *quick {
+	switch {
+	case *benchtime != "":
+		flag.Set("test.benchtime", *benchtime)
+	case *quick:
 		flag.Set("test.benchtime", "10x")
-	} else {
+	default:
 		flag.Set("test.benchtime", "0.5s")
 	}
 
@@ -170,6 +204,33 @@ func main() {
 	}
 	rep4.Entries = streamEntries(*quick)
 	emit(rep4, *out4)
+
+	rep5 := &Report{
+		Schema:     "jobsched-bench/v5-deep-queue",
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Note: "deep-queue family (indexed pending-queue layer): before = slice-order " +
+			"batched protocol (FCFS/Garey&Graham) or the sequential one-start-per-pass " +
+			"protocol (PSRS/SMART, their pre-index state), both live; after = queue.Index " +
+			"passes with width-pruned scans, O(1) no-fit prechecks and epoch-window batching",
+	}
+	rep5.Entries = queueEntries(*quick)
+	emit(rep5, *out5)
+
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
 
 	if *quick {
 		// Smoke gate: the nil-recorder path must stay within the noise
@@ -630,6 +691,175 @@ func deepEntries(quick bool) []Entry {
 	}
 
 	return append([]Entry{fitEntry, passEntry}, schedEntries...)
+}
+
+// queueEntries is the BENCH_5.json family: the indexed pending-queue
+// layer against the slice-order protocol. The no-fit pass micros run at
+// a fixed queue=20000 in both quick and full mode — shape-invariant, so
+// bench-compare can track them across commits — and full mode adds the
+// same micros at queue=100000 plus the end-to-end deep-queue grid.
+func queueEntries(quick bool) []Entry {
+	entries := queuePassMicros(20_000)
+	if !quick {
+		entries = append(entries, queuePassMicros(100_000)...)
+	}
+	return append(entries, deepQueueGrid(quick)...)
+}
+
+// queuePassMicros measures ONE scheduling pass over a deep queue in
+// which nothing fits the free nodes — the saturated-machine state a deep
+// backlog spends most of its time in. The slice protocol pays O(Q) per
+// pass (the Garey&Graham scan, the EASY backfill scan, the conservative
+// fits precheck); the index answers the same pass in O(log Q) cursor
+// descents (or one O(1) subtree-minimum lookup). Zero jobs start, so the
+// pass is repeatable without rebuilding state between iterations.
+func queuePassMicros(queueLen int) []Entry {
+	const machine = 256
+	const free = 8
+
+	mk := func(o sched.OrderName, s sched.StartName, indexed bool) *sched.Composite {
+		alg, err := sched.New(o, s, sched.Config{MachineNodes: machine})
+		if err != nil {
+			fatal(err)
+		}
+		alg.SetIndexedQueue(indexed)
+		for i := 0; i < queueLen; i++ {
+			alg.Submit(&job.Job{ID: job.ID(i), Submit: 0,
+				Nodes:    9 + (i*13)%(machine-8), // everything wider than free=8
+				Estimate: 600 + int64(i%7)*60, Runtime: 600}, 0)
+		}
+		return alg
+	}
+	// One wide job occupies the rest of the machine: EASY needs a running
+	// set to compute the head's shadow time.
+	blocker := []sim.Running{{
+		Job:   &job.Job{ID: 1 << 30, Nodes: machine - free, Estimate: 3600, Runtime: 3600},
+		Start: 0, EstEnd: 3600,
+	}}
+	pass := func(alg *sched.Composite, running []sim.Running) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			now := int64(1)
+			for i := 0; i < b.N; i++ {
+				if picked := alg.Startable(now, free, running); len(picked) != 0 {
+					b.Fatal("no-fit pass unexpectedly started jobs")
+				}
+				now++
+			}
+		}
+	}
+
+	cells := []struct {
+		name    string
+		o       sched.OrderName
+		s       sched.StartName
+		running []sim.Running
+	}{
+		{"GG-List", sched.OrderGG, sched.StartList, nil},
+		{"FCFS-EASY", sched.OrderFCFS, sched.StartEASY, blocker},
+		{"FCFS-Backfilling", sched.OrderFCFS, sched.StartConservative, blocker},
+	}
+	var entries []Entry
+	for _, c := range cells {
+		before := testing.Benchmark(pass(mk(c.o, c.s, false), c.running))
+		after := testing.Benchmark(pass(mk(c.o, c.s, true), c.running))
+		e := entry(fmt.Sprintf("sched/QueuePassNoFit/%s/queue=%d", c.name, queueLen),
+			"slice-pass-live", before, after)
+		e.Metrics = map[string]float64{"queue_jobs": float64(queueLen)}
+		entries = append(entries, e)
+	}
+	return entries
+}
+
+// deepQueueGrid simulates a 100k-job time-zero backlog end to end for
+// every order policy × {List, depth-bounded Backfilling, EASY} plus the
+// Garey&Graham cell. The before side runs the pre-index protocol: the
+// slice batched path for the stable orders (FCFS, Garey&Graham), the
+// sequential one-start-per-pass path for the epoch orders (PSRS, SMART)
+// — those only gained a batched pass with the index layer. Each cell's
+// makespans are cross-checked: the protocols must agree on the schedule.
+func deepQueueGrid(quick bool) []Entry {
+	prev := flag.Lookup("test.benchtime").Value.String()
+	flag.Set("test.benchtime", "1x")
+	defer flag.Set("test.benchtime", prev)
+
+	jobs := 100_000
+	if quick {
+		jobs = 1_500
+	}
+	mkJobs := func() []*job.Job {
+		js := make([]*job.Job, jobs)
+		for i := range js {
+			w := 1 + (i*7)%8
+			if i%199 == 198 {
+				w = 256
+			}
+			js[i] = &job.Job{ID: job.ID(i), Submit: 0, Nodes: w,
+				Runtime: 60, Estimate: 60 + int64(i%4)*30}
+		}
+		return js
+	}
+
+	type cell struct {
+		name string
+		o    sched.OrderName
+		s    sched.StartName
+		cfg  sched.Config
+	}
+	var cells []cell
+	for _, o := range []sched.OrderName{sched.OrderFCFS, sched.OrderPSRS, sched.OrderSMARTFFIA, sched.OrderSMARTNFIW} {
+		cells = append(cells,
+			cell{fmt.Sprintf("%s-List", o), o, sched.StartList,
+				sched.Config{MachineNodes: 256}},
+			cell{fmt.Sprintf("%s-Backfilling-depth4", o), o, sched.StartConservative,
+				sched.Config{MachineNodes: 256, MaxBackfillDepth: 4}},
+			cell{fmt.Sprintf("%s-EASY", o), o, sched.StartEASY,
+				sched.Config{MachineNodes: 256}},
+		)
+	}
+	cells = append(cells, cell{"GareyGraham", sched.OrderGG, sched.StartList,
+		sched.Config{MachineNodes: 256}})
+
+	run := func(c cell, before bool, makespan *int64) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				alg, err := sched.New(c.o, c.s, c.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if before {
+					alg.SetIndexedQueue(false)
+					if c.o != sched.OrderFCFS && c.o != sched.OrderGG {
+						alg.SetSequentialPasses(true)
+					}
+				}
+				res, err := sim.Run(sim.Machine{Nodes: 256}, mkJobs(), alg, sim.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				*makespan = res.Schedule.Makespan()
+			}
+		}
+	}
+	var entries []Entry
+	for _, c := range cells {
+		source := "slice-batched-live"
+		if c.o != sched.OrderFCFS && c.o != sched.OrderGG {
+			source = "sequential-slice-live"
+		}
+		var mkBefore, mkAfter int64
+		before := testing.Benchmark(run(c, true, &mkBefore))
+		after := testing.Benchmark(run(c, false, &mkAfter))
+		if mkBefore != mkAfter {
+			fatal(fmt.Errorf("deep queue %s: indexed makespan %d != %s makespan %d (schedule changed!)",
+				c.name, mkAfter, source, mkBefore))
+		}
+		e := entry(fmt.Sprintf("sched/DeepQueue/jobs=%d/%s", jobs, c.name), source, before, after)
+		e.Metrics = map[string]float64{"makespan_s": float64(mkAfter), "queued_jobs": float64(jobs)}
+		entries = append(entries, e)
+	}
+	return entries
 }
 
 // peakWatch samples the heap in the background and records the largest

@@ -1,0 +1,104 @@
+// Command benchcompare is the opt-in perf-regression gate behind
+// `make bench-compare` (scripts/bench-compare.sh): it compares a fresh
+// bench run against the committed BENCH_*.json reports and fails when a
+// tracked entry's after_ns_per_op regressed beyond the threshold.
+//
+// Only shape-invariant entries are tracked — benchmarks whose per-op
+// work is identical in quick and full mode (fixed query mixes, fixed
+// queue sizes), so the committed full-run numbers are directly
+// comparable to a fresh quick run. Workload-scaled entries (the table
+// grids, the deep end-to-end families) are deliberately not tracked:
+// quick mode downsizes their inputs, so cross-mode ns/op comparisons
+// would be meaningless.
+//
+// Usage: benchcompare [-threshold pct] committed.json fresh.json [...]
+// (file pairs; entries missing from either side are skipped).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// tracked lists the shape-invariant benchmark entries across all
+// BENCH_*.json reports. Adding a benchmark here requires that its per-op
+// shape not depend on -quick.
+var tracked = []string{
+	// BENCH_1.json: availability-profile micros.
+	"profile/EarliestFit/steps=4096",
+	"profile/MinFreeMonotone/steps=4096",
+	"profile/ConservativePass/queue=512",
+	// BENCH_5.json: indexed pending-queue no-fit pass micros.
+	"sched/QueuePassNoFit/GG-List/queue=20000",
+	"sched/QueuePassNoFit/FCFS-EASY/queue=20000",
+	"sched/QueuePassNoFit/FCFS-Backfilling/queue=20000",
+}
+
+type entry struct {
+	Name    string  `json:"name"`
+	AfterNs float64 `json:"after_ns_per_op"`
+}
+
+type report struct {
+	Entries []entry `json:"benchmarks"`
+}
+
+func load(path string) map[string]float64 {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(2)
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	m := make(map[string]float64, len(r.Entries))
+	for _, e := range r.Entries {
+		m[e.Name] = e.AfterNs
+	}
+	return m
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 25,
+		"maximum allowed after_ns_per_op regression in percent")
+	flag.Parse()
+	if flag.NArg() == 0 || flag.NArg()%2 != 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchcompare [-threshold pct] <committed.json> <fresh.json> [<committed.json> <fresh.json> ...]")
+		os.Exit(2)
+	}
+
+	fail, compared := false, 0
+	for i := 0; i < flag.NArg(); i += 2 {
+		committed, fresh := load(flag.Arg(i)), load(flag.Arg(i+1))
+		for _, name := range tracked {
+			c, okC := committed[name]
+			f, okF := fresh[name]
+			if !okC || !okF || c <= 0 {
+				continue
+			}
+			compared++
+			delta := (f/c - 1) * 100
+			status := "ok"
+			if delta > *threshold {
+				status = "REGRESSION"
+				fail = true
+			}
+			fmt.Printf("%-52s committed %10.0f ns/op   fresh %10.0f ns/op   %+7.1f%%   %s\n",
+				name, c, f, delta, status)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchcompare: no tracked entries present in both reports")
+		os.Exit(1)
+	}
+	if fail {
+		fmt.Fprintf(os.Stderr, "benchcompare: tracked benchmark regressed beyond %.0f%%\n", *threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("benchcompare: %d tracked entries within %.0f%%\n", compared, *threshold)
+}

@@ -14,13 +14,17 @@ import (
 // At + Duration arithmetic on adversarial schedules. internal/profile
 // joined when the tree kernel grew subtree aggregates: its end-time and
 // area computations run against Infinity (= MaxInt64) deadline jobs, the
-// exact inputs that wrap raw arithmetic.
+// exact inputs that wrap raw arithmetic. internal/queue joined with the
+// pending-queue index: its maxE aggregate stores raw job estimates and
+// its counters feed telemetry totals, both int64 domains where a wrap
+// would silently misprune a scan.
 var checkedArithScope = []string{
 	"jobsched/internal/job",
 	"jobsched/internal/objective",
 	"jobsched/internal/sim",
 	"jobsched/internal/faults",
 	"jobsched/internal/profile",
+	"jobsched/internal/queue",
 }
 
 // checkedArithHelpers are the saturating helpers in internal/job/arith.go

@@ -1,6 +1,10 @@
 package sched
 
-import "jobsched/internal/job"
+import (
+	"jobsched/internal/job"
+	"jobsched/internal/queue"
+	"jobsched/internal/telemetry"
+)
 
 // FCFSOrder keeps waiting jobs in submission order (Section 5.1). It is
 // fair — a job's completion is independent of later submissions — and
@@ -11,16 +15,26 @@ import "jobsched/internal/job"
 // so head removal is O(1) and the backing array is compacted only when
 // the dead prefix dominates. With 100k+ queued jobs this turns a pass's
 // removals from quadratic memmove traffic into constant work.
+//
+// Alongside the slice it maintains a queue.Index over the same order
+// (IndexedOrderer): submission order never changes under removal, so the
+// index is never rebuilt — Push appends and Remove tombstones, both
+// O(log Q) — and the batched passes iterate it with width pruning
+// instead of scanning the slice.
 type FCFSOrder struct {
 	name  string
 	queue []*job.Job
 	head  int
+	// ix mirrors queue[head:]; indexed gates its maintenance (the slice
+	// path is the differential oracle and must not pay for the index).
+	ix      *queue.Index
+	indexed bool
 }
 
 // NewFCFSOrder returns a submission-order queue with the given display
 // name (Garey&Graham reuses it under its own name).
 func NewFCFSOrder(name string) *FCFSOrder {
-	return &FCFSOrder{name: name}
+	return &FCFSOrder{name: name, ix: queue.NewIndex(), indexed: true}
 }
 
 // Name implements Orderer.
@@ -34,10 +48,16 @@ func (o *FCFSOrder) StableUnderRemoval() {}
 // so appending preserves FCFS order.
 func (o *FCFSOrder) Push(j *job.Job, now int64) {
 	o.queue = append(o.queue, j)
+	if o.indexed {
+		o.ix.Push(j)
+	}
 }
 
 // Remove implements Orderer.
 func (o *FCFSOrder) Remove(j *job.Job, now int64) {
+	if o.indexed {
+		o.ix.Remove(j)
+	}
 	if o.head < len(o.queue) && o.queue[o.head] == j {
 		o.queue[o.head] = nil // release for GC; the slot is dead
 		o.head++
@@ -68,3 +88,19 @@ func (o *FCFSOrder) Ordered(now int64) []*job.Job { return o.queue[o.head:] }
 
 // Len implements Orderer.
 func (o *FCFSOrder) Len() int { return len(o.queue) - o.head }
+
+// OrderedIter implements IndexedOrderer.
+func (o *FCFSOrder) OrderedIter(now int64) *queue.Index { return o.ix }
+
+// SetIndexed implements IndexedOrderer. Turning the index on
+// resynchronizes it from the slice.
+func (o *FCFSOrder) SetIndexed(on bool) {
+	if on && !o.indexed {
+		o.ix.Rebuild(o.queue[o.head:])
+	}
+	o.indexed = on
+}
+
+// Instrument implements Instrumented: attaches the queue-index operation
+// counter.
+func (o *FCFSOrder) Instrument(h telemetry.Hooks) { o.ix.SetStats(h.QueueStats) }

@@ -1,9 +1,12 @@
 package sched
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"jobsched/internal/job"
+	"jobsched/internal/queue"
+	"jobsched/internal/telemetry"
 )
 
 // PSRSOrder adapts the PSRS algorithm (Schwiegelshohn [13]) to the
@@ -44,6 +47,19 @@ func (o *PSRSOrder) Remove(j *job.Job, now int64) { o.rp.remove(j) }
 // Ordered implements Orderer.
 func (o *PSRSOrder) Ordered(now int64) []*job.Job { return o.rp.ordered() }
 
+// OrderedIter implements IndexedOrderer.
+func (o *PSRSOrder) OrderedIter(now int64) *queue.Index { return o.rp.index() }
+
+// SetIndexed implements IndexedOrderer.
+func (o *PSRSOrder) SetIndexed(on bool) { o.rp.setIndexed(on) }
+
+// BatchWindow implements EpochOrderer: PSRS order is removal-stable
+// within a plan epoch (see replanner.batchWindow).
+func (o *PSRSOrder) BatchWindow() int { return o.rp.batchWindow() }
+
+// Instrument implements Instrumented: attaches the queue-index counter.
+func (o *PSRSOrder) Instrument(h telemetry.Hooks) { o.rp.ix.SetStats(h.QueueStats) }
+
 // Len implements Orderer.
 func (o *PSRSOrder) Len() int { return o.rp.len() }
 
@@ -63,12 +79,15 @@ func (o *PSRSOrder) computePlan(jobs []*job.Job) []*job.Job {
 	}
 	// Step 1: modified Smith ratio, largest first; ties by ID.
 	ratio := append([]*job.Job(nil), jobs...)
-	sort.SliceStable(ratio, func(a, b int) bool {
-		ra, rb := o.modifiedSmith(ratio[a]), o.modifiedSmith(ratio[b])
+	slices.SortStableFunc(ratio, func(a, b *job.Job) int {
+		ra, rb := o.modifiedSmith(a), o.modifiedSmith(b)
 		if ra != rb {
-			return ra > rb
+			if ra > rb {
+				return -1
+			}
+			return 1
 		}
-		return ratio[a].ID < ratio[b].ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 
 	// Step 2: preemptive schedule; gives each job a completion time.

@@ -14,6 +14,7 @@ import (
 
 	"jobsched/internal/job"
 	"jobsched/internal/profile"
+	"jobsched/internal/queue"
 	"jobsched/internal/sim"
 	"jobsched/internal/telemetry"
 )
@@ -66,11 +67,58 @@ type BatchStarter interface {
 // StableOrderer marks order policies whose Ordered sequence is invariant
 // under Remove: taking a started job out never reorders the remaining
 // jobs (FCFS, Garey&Graham). SMART and PSRS are not stable — removals
-// advance their replan trigger, which can rebuild the plan mid-pass — so
-// batched passes are disabled for them.
+// advance their replan trigger, which can rebuild the plan mid-pass —
+// but they are epoch-stable (EpochOrderer), which admits bounded batches.
 type StableOrderer interface {
 	// StableUnderRemoval is a marker; implementations do nothing.
 	StableUnderRemoval()
+}
+
+// EpochOrderer is implemented by order policies whose order is
+// removal-stable *within a plan epoch*: removals never reorder the
+// remaining jobs, but a replan — triggered by the removal counters —
+// rebuilds the whole order (SMART, PSRS). BatchWindow returns how many
+// consecutive picks of the current order are provably replan-free, so a
+// batched pass truncated to the window is exactly equivalent to the
+// sequential pick-one protocol: the engine's follow-up Startable call
+// re-enters the order policy at the same queue state at which the
+// sequential run would have re-checked the replan trigger.
+type EpochOrderer interface {
+	Orderer
+	// BatchWindow returns the maximal safe batch size for the current
+	// epoch (≥ 1 when the queue is nonempty). Call after Ordered or
+	// OrderedIter — i.e. against a fresh plan.
+	BatchWindow() int
+}
+
+// IndexedOrderer is implemented by order policies that maintain their
+// priority order as a queue.Index, replacing the O(Q) Ordered slice
+// materialization per pass with O(log Q) cursor iteration and
+// width-pruned scans. Ordered stays available as the compatibility
+// adapter and differential oracle.
+type IndexedOrderer interface {
+	Orderer
+	// OrderedIter returns the indexed view of the current priority order
+	// (replanning first, exactly where Ordered would). The index is owned
+	// by the order policy; callers must restore any pass-local hiding
+	// before returning control.
+	OrderedIter(now int64) *queue.Index
+	// SetIndexed toggles index maintenance; turning it on resynchronizes
+	// the index from the slice order. Composite.SetIndexedQueue drives it.
+	SetIndexed(on bool)
+}
+
+// IndexedStarter is implemented by start policies that can compute a
+// batched pass against an indexed queue view (the O(log Q) counterpart
+// of BatchStarter.PickMany — same jobs, same order, same decisions).
+type IndexedStarter interface {
+	Starter
+	// PickManyIndexed returns the jobs startable now, in the order Pick
+	// would have returned them, bounded by limit when limit > 0 (the
+	// epoch batch window; 0 = unlimited). Implementations must leave the
+	// index exactly as found (hidden entries restored). The returned
+	// slice is only valid until the next Pick/PickMany call.
+	PickManyIndexed(ix *queue.Index, now int64, free int, running []sim.Running, machineNodes, limit int) []*job.Job
 }
 
 // ProfileFactory constructs a scratch availability profile. The default
@@ -102,10 +150,21 @@ type Composite struct {
 	// decider is the start policy's sim.DecisionExplainer view, resolved
 	// once at composition (nil when the policy cannot classify starts).
 	decider sim.DecisionExplainer
-	// batch is the start policy's BatchStarter view; set only when the
-	// order policy is also StableOrderer, the precondition for a batched
-	// pass being equivalent to the Pick-until-nil loop.
+	// batch is the start policy's BatchStarter view; set when the order
+	// policy is StableOrderer (unbounded batches) or EpochOrderer
+	// (batches truncated to the epoch window), the preconditions for a
+	// batched pass being equivalent to the Pick-until-nil loop.
 	batch BatchStarter
+	// stable records the StableOrderer marker; epoch the EpochOrderer
+	// view (nil for stable orders). Exactly one is set when batching.
+	stable bool
+	epoch  EpochOrderer
+	// ixOrder/ixStart are the indexed-protocol views, set when both sides
+	// support it and batching is sound; indexed (default true) gates the
+	// indexed path at run time (SetIndexedQueue).
+	ixOrder IndexedOrderer
+	ixStart IndexedStarter
+	indexed bool
 	// sequentialPasses forces the one-job-per-Startable path even when a
 	// batched pass is available (differential tests and A/B benches).
 	sequentialPasses bool
@@ -135,12 +194,34 @@ func Compose(order Orderer, start Starter, machineNodes int) *Composite {
 	if machineNodes <= 0 {
 		panic("sched: machine must have at least one node")
 	}
-	c := &Composite{order: order, start: start, machine: machineNodes}
+	c := &Composite{order: order, start: start, machine: machineNodes, indexed: true}
 	c.decider, _ = start.(sim.DecisionExplainer)
-	if _, stable := order.(StableOrderer); stable {
+	_, c.stable = order.(StableOrderer)
+	if !c.stable {
+		c.epoch, _ = order.(EpochOrderer)
+	}
+	if c.stable || c.epoch != nil {
 		c.batch, _ = start.(BatchStarter)
+		if io, ok := order.(IndexedOrderer); ok {
+			if is, ok := start.(IndexedStarter); ok {
+				c.ixOrder, c.ixStart = io, is
+			}
+		}
 	}
 	return c
+}
+
+// SetIndexedQueue enables (default) or disables the indexed-queue
+// protocol: OrderedIter/PickManyIndexed with O(log Q) iteration and
+// width-pruned scans. Off, the order policy stops maintaining its index
+// and passes run the slice protocol — the differential oracle and the
+// pre-index baseline for A/B benches. Both sides start identical jobs in
+// identical order.
+func (c *Composite) SetIndexedQueue(on bool) {
+	c.indexed = on
+	if io, ok := c.order.(IndexedOrderer); ok {
+		io.SetIndexed(on)
+	}
 }
 
 // SetSequentialPasses forces (true) or re-enables (false) the
@@ -176,13 +257,24 @@ func (c *Composite) JobFinished(j *job.Job, now int64) {}
 // Startable implements sim.Scheduler. With a batch-capable start policy
 // over a removal-stable order, one call computes the whole pass; the
 // engine's follow-up call (after starting the batch) finds nothing new
-// and terminates the pass. Otherwise one job per call, as before.
+// and terminates the pass. Epoch-stable orders (SMART/PSRS) batch too,
+// truncated to the replan-free window. Otherwise one job per call, as
+// before. The indexed protocol (default) runs the same passes against
+// the order policy's queue.Index instead of the materialized slice.
 func (c *Composite) Startable(now int64, free int, running []sim.Running) []*job.Job {
 	if c.order.Len() == 0 || free <= 0 {
 		return nil
 	}
-	if c.batch != nil && !c.sequentialPasses {
-		ordered := c.order.Ordered(now)
+	if c.batch == nil || c.sequentialPasses {
+		j := c.start.Pick(c.order.Ordered(now), now, free, running, c.machine)
+		if j == nil {
+			return nil
+		}
+		return []*job.Job{j}
+	}
+
+	if c.ixOrder != nil && c.indexed {
+		ix := c.ixOrder.OrderedIter(now)
 		// A batched pass is complete: PickMany returns every job startable
 		// at `now` (the property the batch equivalence tests pin), so the
 		// engine's follow-up Startable call — its loop-termination check —
@@ -191,30 +283,67 @@ func (c *Composite) Startable(now int64, free int, running []sim.Running) []*job
 		// picked jobs moved from queue to running, their nodes debited),
 		// answer it without the walk. Any other intervening change (a
 		// same-instant outage, resubmit, or kill) breaks the signature and
-		// forces the full pass.
+		// forces the full pass. An epoch order's follow-up OrderedIter is
+		// itself the replan-trigger check and has already run at exactly
+		// the sequential protocol's point — the memo (set only when the
+		// pass ended below the epoch window, so its removals provably left
+		// the trigger cold) skips just the fruitless walk behind it.
 		if m := &c.passDone; m.valid {
 			m.valid = false
 			if now == m.now && free == m.free &&
-				len(ordered) == m.queueLen && len(running) == m.runningLen {
+				ix.Len() == m.queueLen && len(running) == m.runningLen {
 				return nil
 			}
 		}
-		picked := c.batch.PickMany(ordered, now, free, running, c.machine)
-		if len(picked) > 0 {
-			width := 0
-			for _, j := range picked {
-				width += j.Nodes
-			}
-			c.passDone = passMemo{valid: true, now: now, free: free - width,
-				queueLen: len(ordered) - len(picked), runningLen: len(running) + len(picked)}
+		limit := 0
+		if c.epoch != nil {
+			limit = c.epoch.BatchWindow()
+		}
+		picked := c.ixStart.PickManyIndexed(ix, now, free, running, c.machine, limit)
+		if len(picked) > 0 && (c.stable || len(picked) < limit) {
+			c.passDone = c.memoAfter(now, free, ix.Len(), len(running), picked)
 		}
 		return picked
 	}
-	j := c.start.Pick(c.order.Ordered(now), now, free, running, c.machine)
-	if j == nil {
-		return nil
+
+	ordered := c.order.Ordered(now)
+	if m := &c.passDone; m.valid {
+		m.valid = false
+		if now == m.now && free == m.free &&
+			len(ordered) == m.queueLen && len(running) == m.runningLen {
+			return nil
+		}
 	}
-	return []*job.Job{j}
+	picked := c.batch.PickMany(ordered, now, free, running, c.machine)
+	complete := c.stable
+	if c.epoch != nil {
+		// Truncate to the epoch's replan-free window; the engine's next
+		// pass resumes at the queue state the sequential protocol would
+		// have re-checked the replan trigger at. A pass ending below the
+		// window was not truncated — it is the full pick-until-nil output,
+		// and its removals provably leave the replan trigger cold, so the
+		// follow-up call may answer from the memo.
+		w := c.epoch.BatchWindow()
+		if len(picked) > w {
+			picked = picked[:w]
+		} else if len(picked) < w {
+			complete = true
+		}
+	}
+	if complete && len(picked) > 0 {
+		c.passDone = c.memoAfter(now, free, len(ordered), len(running), picked)
+	}
+	return picked
+}
+
+// memoAfter predicts the post-start state signature of a fruitful pass.
+func (c *Composite) memoAfter(now int64, free, queueLen, runningLen int, picked []*job.Job) passMemo {
+	width := 0
+	for _, j := range picked {
+		width += j.Nodes
+	}
+	return passMemo{valid: true, now: now, free: free - width,
+		queueLen: queueLen - len(picked), runningLen: runningLen + len(picked)}
 }
 
 // QueueLen implements sim.Scheduler.
@@ -229,11 +358,15 @@ func (c *Composite) LastStartDecision(j *job.Job) (telemetry.Decision, bool) {
 	return c.decider.LastStartDecision(j)
 }
 
-// Instrument attaches telemetry hooks to the start policy (no-op when the
-// policy is not Instrumented). sched.New calls it with Config.Hooks;
+// Instrument attaches telemetry hooks to the start and order policies
+// (no-op for policies that are not Instrumented — order policies accept
+// the queue-index op counter). sched.New calls it with Config.Hooks;
 // hand-composed schedulers may call it directly.
 func (c *Composite) Instrument(h telemetry.Hooks) {
 	if in, ok := c.start.(Instrumented); ok {
+		in.Instrument(h)
+	}
+	if in, ok := c.order.(Instrumented); ok {
 		in.Instrument(h)
 	}
 }

@@ -1,9 +1,14 @@
 package sched
 
 import (
+	"cmp"
 	"sort"
 
+	"slices"
+
 	"jobsched/internal/job"
+	"jobsched/internal/queue"
+	"jobsched/internal/telemetry"
 )
 
 // SMARTVariant selects the shelf-packing rule of SMART's step 2
@@ -68,6 +73,19 @@ func (o *SMARTOrder) Remove(j *job.Job, now int64) { o.rp.remove(j) }
 // Ordered implements Orderer.
 func (o *SMARTOrder) Ordered(now int64) []*job.Job { return o.rp.ordered() }
 
+// OrderedIter implements IndexedOrderer.
+func (o *SMARTOrder) OrderedIter(now int64) *queue.Index { return o.rp.index() }
+
+// SetIndexed implements IndexedOrderer.
+func (o *SMARTOrder) SetIndexed(on bool) { o.rp.setIndexed(on) }
+
+// BatchWindow implements EpochOrderer: SMART order is removal-stable
+// within a plan epoch (see replanner.batchWindow).
+func (o *SMARTOrder) BatchWindow() int { return o.rp.batchWindow() }
+
+// Instrument implements Instrumented: attaches the queue-index counter.
+func (o *SMARTOrder) Instrument(h telemetry.Hooks) { o.rp.ix.SetStats(h.QueueStats) }
+
 // Len implements Orderer.
 func (o *SMARTOrder) Len() int { return o.rp.len() }
 
@@ -123,8 +141,15 @@ func (o *SMARTOrder) computePlan(jobs []*job.Job) []*job.Job {
 
 	// Step 3: Smith's rule — largest Σweight/maxTime first. Stable sort
 	// keeps the bin construction order deterministic on ties.
-	sort.SliceStable(shelves, func(a, b int) bool {
-		return shelves[a].smithRatio() > shelves[b].smithRatio()
+	slices.SortStableFunc(shelves, func(a, b *shelf) int {
+		ra, rb := a.smithRatio(), b.smithRatio()
+		if ra > rb {
+			return -1
+		}
+		if ra < rb {
+			return 1
+		}
+		return 0
 	})
 
 	plan := make([]*job.Job, 0, len(jobs))
@@ -154,12 +179,11 @@ func (o *SMARTOrder) packBin(jobs []*job.Job) []*shelf {
 	switch o.variant {
 	case FFIA:
 		// Smallest estimated area first; ties by ID for determinism.
-		sort.SliceStable(sorted, func(a, b int) bool {
-			aa, ab := sorted[a].EstimatedArea(), sorted[b].EstimatedArea()
-			if aa != ab {
-				return aa < ab
+		slices.SortStableFunc(sorted, func(a, b *job.Job) int {
+			if c := cmp.Compare(a.EstimatedArea(), b.EstimatedArea()); c != 0 {
+				return c
 			}
-			return sorted[a].ID < sorted[b].ID
+			return cmp.Compare(a.ID, b.ID)
 		})
 		var shelves []*shelf
 		for _, j := range sorted {
@@ -180,13 +204,16 @@ func (o *SMARTOrder) packBin(jobs []*job.Job) []*shelf {
 		return shelves
 	case NFIW:
 		// Increasing nodes/weight; ties by ID.
-		sort.SliceStable(sorted, func(a, b int) bool {
-			ra := float64(sorted[a].Nodes) / o.weight(sorted[a])
-			rb := float64(sorted[b].Nodes) / o.weight(sorted[b])
+		slices.SortStableFunc(sorted, func(a, b *job.Job) int {
+			ra := float64(a.Nodes) / o.weight(a)
+			rb := float64(b.Nodes) / o.weight(b)
 			if ra != rb {
-				return ra < rb
+				if ra < rb {
+					return -1
+				}
+				return 1
 			}
-			return sorted[a].ID < sorted[b].ID
+			return cmp.Compare(a.ID, b.ID)
 		})
 		var shelves []*shelf
 		var cur *shelf

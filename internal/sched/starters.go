@@ -554,6 +554,11 @@ type ConservativeStarter struct {
 	picked []*job.Job
 	rem    []*job.Job
 	runBuf []sim.Running
+	// sufMin is pickManyExact's reusable suffix-min-of-widths buffer:
+	// sufMin[i] = narrowest job in ordered[i:], the O(1) "can anything
+	// still start" probe behind the no-fit fast path and the post-pick
+	// early stop.
+	sufMin []int
 }
 
 // NewConservativeStarter returns the exact conservative backfilling
@@ -739,14 +744,19 @@ func (s *ConservativeStarter) pickManyExact(ordered []*job.Job, now int64, free 
 	}
 	// Same fast path as the sequential walk: nothing fits, nothing to do
 	// (and no backfill event — the sequential pass never walks either).
-	fits := false
-	for _, j := range ordered {
-		if j.Nodes <= free {
-			fits = true
-			break
-		}
+	// The suffix minima also drive the post-pick early stop below.
+	if cap(s.sufMin) < len(ordered) {
+		s.sufMin = make([]int, len(ordered))
 	}
-	if !fits {
+	s.sufMin = s.sufMin[:len(ordered)]
+	minW := ordered[len(ordered)-1].Nodes
+	for i := len(ordered) - 1; i >= 0; i-- {
+		if ordered[i].Nodes < minW {
+			minW = ordered[i].Nodes
+		}
+		s.sufMin[i] = minW
+	}
+	if s.sufMin[0] > free {
 		return s.picked
 	}
 
@@ -764,7 +774,7 @@ func (s *ConservativeStarter) pickManyExact(ordered []*job.Job, now int64, free 
 	p.BeginPass(now)
 	walked := 0 // unstarted jobs examined: the remaining-queue index
 	headID := telemetry.None
-	for _, j := range ordered {
+	for pos, j := range ordered {
 		if free <= 0 {
 			break // the sequential protocol stops passing at zero free
 		}
@@ -792,6 +802,15 @@ func (s *ConservativeStarter) pickManyExact(ordered []*job.Job, now int64, free 
 				end = now + 1
 			}
 			p.Reserve(j.Nodes, now, end)
+			// Early stop: a start-now fit needs Nodes <= free, so if no
+			// job past this one is narrow enough for the shrunken free,
+			// no further pick is possible and the remaining reservations
+			// cannot influence any decision this pass — mirroring the
+			// sequential protocol, whose next pass exits on its width
+			// precheck without touching the profile.
+			if pos+1 == len(ordered) || s.sufMin[pos+1] > free {
+				break
+			}
 			continue
 		}
 		if walked == 0 {

@@ -1,10 +1,11 @@
 package sim
 
 import (
+	"cmp"
 	"container/heap"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"jobsched/internal/job"
@@ -198,7 +199,7 @@ func run(m Machine, src Source, s Scheduler, opt Options, capHint int) (*Result,
 	for _, f := range failures {
 		raw = append(raw, edge{f.At, -f.Nodes}, edge{job.AddSat(f.At, f.Duration), f.Nodes})
 	}
-	sort.Slice(raw, func(i, j int) bool { return raw[i].at < raw[j].at })
+	slices.SortFunc(raw, func(a, b edge) int { return cmp.Compare(a.at, b.at) })
 	var edges []edge
 	for i := 0; i < len(raw); {
 		j, delta := i, 0
@@ -312,7 +313,7 @@ func run(m Machine, src Source, s Scheduler, opt Options, capHint int) (*Result,
 		for _, r := range runningBy {
 			runningBuf = append(runningBuf, r)
 		}
-		sort.Slice(runningBuf, func(i, j int) bool { return runningBuf[i].Job.ID < runningBuf[j].Job.ID })
+		slices.SortFunc(runningBuf, func(a, b Running) int { return cmp.Compare(a.Job.ID, b.Job.ID) })
 		return runningBuf
 	}
 
@@ -482,7 +483,7 @@ func run(m Machine, src Source, s Scheduler, opt Options, capHint int) (*Result,
 			batch = append(batch, j)
 			peeked = nil
 		}
-		sort.SliceStable(batch, func(i, j int) bool { return batch[i].ID < batch[j].ID })
+		slices.SortStableFunc(batch, func(a, b *job.Job) int { return cmp.Compare(a.ID, b.ID) })
 		for _, j := range batch {
 			if rec != nil {
 				rec.Record(telemetry.Event{Type: telemetry.EventArrival, At: now,

@@ -1,8 +1,9 @@
 package sim
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"jobsched/internal/job"
 )
@@ -30,7 +31,7 @@ func validateFailures(failures []Failure, machineNodes int) ([]Failure, error) {
 			return nil, fmt.Errorf("sim: failure needs At >= 0 and positive duration")
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	slices.SortFunc(out, func(a, b Failure) int { return cmp.Compare(a.At, b.At) })
 	// Overlapping outages must never drive capacity negative.
 	type edge struct {
 		at    int64
@@ -43,11 +44,11 @@ func validateFailures(failures []Failure, machineNodes int) ([]Failure, error) {
 		// phantom repair would free nodes that never went down.
 		edges = append(edges, edge{f.At, f.Nodes}, edge{job.AddSat(f.At, f.Duration), -f.Nodes})
 	}
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].at != edges[j].at {
-			return edges[i].at < edges[j].at
+	slices.SortFunc(edges, func(a, b edge) int {
+		if c := cmp.Compare(a.at, b.at); c != 0 {
+			return c
 		}
-		return edges[i].delta < edges[j].delta
+		return cmp.Compare(a.delta, b.delta)
 	})
 	down := 0
 	for _, e := range edges {

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"jobsched/internal/profile"
+	"jobsched/internal/queue"
 )
 
 // Sample is one point of a run-counter time series.
@@ -56,6 +57,11 @@ type Counters struct {
 	// the schedulers via Hooks().
 	Profile profile.Stats
 
+	// Queue counts indexed waiting-queue operations (pushes, removals,
+	// width-pruned scan steps, order-statistic lookups); attach it via
+	// Hooks(). Zero when the scheduler runs the slice path.
+	Queue queue.Stats
+
 	// QueueDepth and FreeNodes sample the waiting-queue depth and the
 	// free-node count at the first scheduler query of every event batch.
 	// With SampleCap set, the series are decimated (see below) and
@@ -91,20 +97,22 @@ func NewCounters() *Counters {
 	}
 }
 
-// Hooks bundles the two telemetry attachment points a scheduler stack
-// accepts: the event recorder and the profile operation counter.
+// Hooks bundles the telemetry attachment points a scheduler stack
+// accepts: the event recorder, the profile operation counter and the
+// queue-index operation counter.
 type Hooks struct {
 	Recorder     Recorder
 	ProfileStats *profile.Stats
+	QueueStats   *queue.Stats
 }
 
-// Hooks returns hooks that feed this counter set (events and profile ops
-// both). Combine with a trace writer via Multi:
+// Hooks returns hooks that feed this counter set (events, profile ops and
+// queue-index ops). Combine with a trace writer via Multi:
 //
 //	h := c.Hooks()
 //	h.Recorder = telemetry.Multi(h.Recorder, jsonl)
 func (c *Counters) Hooks() Hooks {
-	return Hooks{Recorder: c, ProfileStats: &c.Profile}
+	return Hooks{Recorder: c, ProfileStats: &c.Profile, QueueStats: &c.Queue}
 }
 
 // Record implements Recorder.
@@ -206,6 +214,9 @@ func (c *Counters) Report(w io.Writer) error {
 		fmt.Fprintf(w, "start reason:      %-24s %d\n", r, c.StartReasons[r])
 	}
 	fmt.Fprintf(w, "profile ops:       %s\n", c.Profile.String())
+	if c.Queue.Total() > 0 {
+		fmt.Fprintf(w, "queue-index ops:   %s\n", c.Queue.String())
+	}
 	fmt.Fprintf(w, "peak queue depth:  %d\n", c.PeakQueueDepth)
 	_, err := fmt.Fprintf(w, "min free nodes:    %d\n", c.MinFreeNodes)
 	return err

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Opt-in perf-regression gate (run via `make bench-compare`): a fresh
+# quick-mode run of the bench harness, compared against the committed
+# BENCH_1.json / BENCH_5.json on the shape-invariant tracked entries
+# (see cmd/benchcompare). Fails when any tracked entry's ns/op regressed
+# more than 25%.
+#
+# The fresh run uses -quick sizes (fast grids) but samples at a real
+# benchtime: the tracked micros are sub-microsecond ops, and the quick
+# default of 10 iterations would be all timer noise.
+set -eu
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "==> fresh quick bench run (micros sampled at 0.25s)"
+go run ./cmd/bench -quick -benchtime 0.25s \
+	-out "$tmp/BENCH_1.json" -out2 "" -out3 "" -out4 "" \
+	-out5 "$tmp/BENCH_5.json" >/dev/null
+
+echo "==> comparing tracked entries against committed reports"
+go run ./cmd/benchcompare \
+	BENCH_1.json "$tmp/BENCH_1.json" \
+	BENCH_5.json "$tmp/BENCH_5.json"

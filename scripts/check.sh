@@ -76,7 +76,7 @@ run fuzz-smoke go test -run='^$' -fuzz='^FuzzFailureSchedule$' -fuzztime=500x ./
 
 step=bench-smoke
 echo "==> bench-smoke: go run ./cmd/bench -quick"
-go run ./cmd/bench -quick -out "" -out2 "" -out3 "" -out4 "" >/dev/null
+go run ./cmd/bench -quick -out "" -out2 "" -out3 "" -out4 "" -out5 "" >/dev/null
 
 run stream-smoke ./scripts/stream-smoke.sh
 
