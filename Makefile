@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet lint fuzz-smoke race bench-smoke bench bench-compare stream-smoke
+.PHONY: check build test vet lint fuzz-smoke race bench-smoke bench bench-compare stream-smoke serve-smoke serve-bench
 
 # Tier-1 gate: vet + lint + lint-budget + build + race-enabled tests +
 # fuzz smoke + bench smoke (see scripts/check.sh for the step list).
@@ -55,3 +55,15 @@ bench-compare:
 # cross-check against single-process output (see DESIGN.md §12).
 stream-smoke:
 	./scripts/stream-smoke.sh
+
+# Boot the jobschedd daemon, drive 10k submissions through schedload,
+# SIGTERM drain, restart, assert a byte-identical recovered fingerprint
+# (see DESIGN.md §15).
+serve-smoke:
+	./scripts/serve-smoke.sh
+
+# Service latency/overload experiment: regenerates BENCH_6.json — an
+# under-limit percentile run plus a 10x-overload run that must shed
+# with explicit bounded 429/503 responses (see DESIGN.md §15).
+serve-bench:
+	./scripts/serve-bench.sh

@@ -1,0 +1,117 @@
+// Command jobschedd is the scheduler-as-a-service daemon: it serves the
+// deterministic sim/sched core over HTTP/JSON, multiplexing independent
+// machine sessions with per-user admission control, bounded queues, and
+// crash recovery from a write-ahead log plus periodic snapshots.
+//
+// Usage:
+//
+//	jobschedd -addr :8080 -data ./data [-rate 100] [-burst 200]
+//	          [-timeout 10s] [-snapshot-every 256] [-audit]
+//	          [-addrfile path]
+//
+// Durability contract: a submission or advance is acknowledged only
+// after it is applied and fsynced to the session's WAL, so a kill -9 at
+// any moment loses no acknowledged operation — restarting on the same
+// -data directory replays to the identical state (see DESIGN.md §15).
+// On SIGTERM/SIGINT the daemon drains: new work is refused with 503,
+// in-flight commits finish, final snapshots are flushed, and the
+// process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"jobsched/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		addrFile = flag.String("addrfile", "", "write the bound address to this file once listening (for scripts using port 0)")
+		dataDir  = flag.String("data", "./jobschedd-data", "data directory holding the durable sessions")
+		rate     = flag.Float64("rate", 0, "per-user admitted jobs per second (0 = unlimited)")
+		burst    = flag.Float64("burst", 0, "per-user burst size in jobs (0 = 2×rate)")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-request timeout, including queue wait and WAL fsync")
+		snapEach = flag.Int("snapshot-every", 256, "snapshot a session after this many WAL records")
+		intake   = flag.Int("intake", 256, "per-session bounded operation queue depth (full = 503)")
+		audit    = flag.Bool("audit", false, "record per-session decision traces to audit.jsonl")
+		drainFor = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for sessions to flush")
+	)
+	flag.Parse()
+	log.SetPrefix("jobschedd: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	if err := run(*addr, *addrFile, *dataDir, *rate, *burst, *timeout, *snapEach, *intake, *audit, *drainFor); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr, addrFile, dataDir string, rate, burst float64, timeout time.Duration, snapEach, intake int, audit bool, drainFor time.Duration) error {
+	store, err := serve.OpenStore(dataDir, serve.StoreOptions{
+		SnapshotEvery: snapEach,
+		IntakeDepth:   intake,
+		Audit:         audit,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	srv := serve.NewServer(store, serve.ServerOptions{
+		RequestTimeout: timeout,
+		Rate:           rate,
+		Burst:          burst,
+		Logf:           log.Printf,
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("listening on %s (data: %s, rate: %g jobs/s/user)", ln.Addr(), dataDir, rate)
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			return fmt.Errorf("writing addrfile: %w", err)
+		}
+	}
+
+	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 5 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case got := <-sig:
+		log.Printf("received %v: draining", got)
+	case err := <-serveErr:
+		return fmt.Errorf("http server: %w", err)
+	}
+
+	// Graceful shutdown, in dependency order: refuse new mutations
+	// (503 + Retry-After), let in-flight HTTP requests finish, then
+	// drain the session workers and flush final snapshots.
+	store.StartDraining()
+	ctx, cancel := context.WithTimeout(context.Background(), drainFor)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := store.Drain(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("http server: %w", err)
+	}
+	log.Printf("drained cleanly")
+	return nil
+}

@@ -18,6 +18,7 @@ var errFlowScope = []string{
 	"jobsched/internal/eval",
 	"jobsched/internal/trace",
 	"jobsched/internal/faults",
+	"jobsched/internal/serve",
 }
 
 // infallibleWriters are receiver types whose Write* methods are

@@ -7,8 +7,12 @@ import (
 )
 
 // journalSyncScope: the evaluation layer owns the crash-safe journal and
-// the rendered result files; durability discipline is enforced there.
-var journalSyncScope = []string{"jobsched/internal/eval"}
+// the rendered result files, and the service layer owns the session WAL
+// and snapshots; durability discipline is enforced in both.
+var journalSyncScope = []string{
+	"jobsched/internal/eval",
+	"jobsched/internal/serve",
+}
 
 const evalPkgPath = "jobsched/internal/eval"
 

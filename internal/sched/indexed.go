@@ -32,7 +32,7 @@ func (s *ListStarter) PickManyIndexed(ix *queue.Index, now int64, free int, runn
 	s.picked = s.picked[:0]
 	it := ix.Iter()
 	for j := it.Next(); j != nil; j = it.Next() {
-		if j.Nodes > free {
+		if j.Nodes > free || stopAt(s.interrupt, len(s.picked)) {
 			break
 		}
 		if limit > 0 && len(s.picked) >= limit {
@@ -61,7 +61,7 @@ func (s *GareyGrahamStarter) PickManyIndexed(ix *queue.Index, now int64, free in
 	headID := telemetry.None
 	headSet := false
 	it := ix.Iter()
-	for free > 0 && (limit <= 0 || len(s.picked) < limit) {
+	for free > 0 && (limit <= 0 || len(s.picked) < limit) && !stopNow(s.interrupt) {
 		j := it.NextFit(free)
 		if j == nil {
 			break
@@ -100,7 +100,7 @@ func (s *EASYStarter) PickManyIndexed(ix *queue.Index, now int64, free int, runn
 		s.buildDrainProfile(now, running, machineNodes)
 		p := s.scratch
 		p.BeginPass(now)
-		for ix.Len() > 0 && free > 0 {
+		for ix.Len() > 0 && free > 0 && !stopNow(s.interrupt) {
 			if limit > 0 && len(s.picked) >= limit {
 				break
 			}
@@ -122,7 +122,7 @@ func (s *EASYStarter) PickManyIndexed(ix *queue.Index, now int64, free int, runn
 		return s.picked
 	}
 	runLocal := append(s.runBuf[:0], running...)
-	for ix.Len() > 0 && free > 0 {
+	for ix.Len() > 0 && free > 0 && !stopNow(s.interrupt) {
 		if limit > 0 && len(s.picked) >= limit {
 			break
 		}
@@ -167,7 +167,10 @@ func (s *EASYStarter) pickOneIx(ix *queue.Index, now int64, free int, running []
 			Shadow: shadow, Spare: spare})
 	}
 	it := ix.IterAfter(headSlot)
-	for j := it.NextFit(free); j != nil; j = it.NextFit(free) {
+	for j, k := it.NextFit(free), 0; j != nil; j, k = it.NextFit(free), k+1 {
+		if stopAt(s.interrupt, k) {
+			return nil
+		}
 		if now+j.Estimate <= shadow {
 			s.stash(j, telemetry.Decision{
 				Starter: s.Name(), Reason: telemetry.ReasonBackfillBeforeShadow,
@@ -220,7 +223,10 @@ func (s *EASYStarter) drainPickOneIx(ix *queue.Index, now int64, free int) *job.
 			Shadow: shadow, Spare: spare})
 	}
 	it := ix.IterAfter(headSlot)
-	for j := it.NextFit(free); j != nil; j = it.NextFit(free) {
+	for j, k := it.NextFit(free), 0; j != nil; j, k = it.NextFit(free), k+1 {
+		if stopAt(s.interrupt, k) {
+			return nil
+		}
 		if p.EarliestFit(j.Nodes, j.Estimate, now) != now {
 			continue
 		}
@@ -252,7 +258,7 @@ func (s *ConservativeStarter) PickManyIndexed(ix *queue.Index, now int64, free i
 		return s.pickManyExactIx(ix, now, free, running, machineNodes, limit)
 	}
 	runLocal := append(s.runBuf[:0], running...)
-	for ix.Len() > 0 && free > 0 {
+	for ix.Len() > 0 && free > 0 && !stopNow(s.interrupt) {
 		if limit > 0 && len(s.picked) >= limit {
 			break
 		}
@@ -315,6 +321,9 @@ func (s *ConservativeStarter) pickOneIx(ix *queue.Index, now int64, free int, ru
 	it := ix.Iter()
 	var first *job.Job
 	for j, i := it.Next(), 0; j != nil && i < depth; j, i = it.Next(), i+1 {
+		if stopAt(s.interrupt, i) {
+			return nil
+		}
 		if i == 0 {
 			first = j
 		}
@@ -381,7 +390,7 @@ func (s *ConservativeStarter) pickManyExactIx(ix *queue.Index, now int64, free i
 	walked := 0 // unstarted jobs examined: the remaining-queue index
 	headID := telemetry.None
 	it := ix.Iter()
-	for j := it.Next(); j != nil; j = it.Next() {
+	for j, pos := it.Next(), 0; j != nil; j, pos = it.Next(), pos+1 {
 		if free <= 0 {
 			break // the sequential protocol stops passing at zero free
 		}
@@ -390,6 +399,9 @@ func (s *ConservativeStarter) pickManyExactIx(ix *queue.Index, now int64, free i
 		}
 		if limit > 0 && len(s.picked) >= limit {
 			break
+		}
+		if stopAt(s.interrupt, pos) {
+			break // interrupted: partial pass, run is being discarded
 		}
 		t := p.EarliestFit(j.Nodes, j.Estimate, now)
 		if t == now && j.Nodes <= free {

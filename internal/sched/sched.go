@@ -168,6 +168,9 @@ type Composite struct {
 	// sequentialPasses forces the one-job-per-Startable path even when a
 	// batched pass is available (differential tests and A/B benches).
 	sequentialPasses bool
+	// interrupt is the cooperative cancellation hook (Interruptible),
+	// polled between and inside batched passes; nil = never interrupt.
+	interrupt func() bool
 	// passDone is the predicted post-start state of the last fruitful
 	// batched pass: when the engine's follow-up Startable call matches it
 	// exactly, the pass was complete and the confirmation walk is skipped
@@ -300,7 +303,10 @@ func (c *Composite) Startable(now int64, free int, running []sim.Running) []*job
 			limit = c.epoch.BatchWindow()
 		}
 		picked := c.ixStart.PickManyIndexed(ix, now, free, running, c.machine, limit)
-		if len(picked) > 0 && (c.stable || len(picked) < limit) {
+		// An interrupted pass may have been abandoned mid-walk: its picks
+		// are a prefix of the full pass, so the completion memo must not
+		// claim the follow-up call needs no walk.
+		if len(picked) > 0 && (c.stable || len(picked) < limit) && !stopNow(c.interrupt) {
 			c.passDone = c.memoAfter(now, free, ix.Len(), len(running), picked)
 		}
 		return picked
@@ -330,7 +336,7 @@ func (c *Composite) Startable(now int64, free int, running []sim.Running) []*job
 			complete = true
 		}
 	}
-	if complete && len(picked) > 0 {
+	if complete && len(picked) > 0 && !stopNow(c.interrupt) {
 		c.passDone = c.memoAfter(now, free, len(ordered), len(running), picked)
 	}
 	return picked

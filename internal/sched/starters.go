@@ -135,7 +135,8 @@ func ensureScratch(scratch profile.Kernel, f ProfileFactory, stats *profile.Stat
 // available; the head is never skipped.
 type ListStarter struct {
 	decided
-	picked []*job.Job
+	picked    []*job.Job
+	interrupt func() bool
 }
 
 // NewListStarter returns the strict list start policy.
@@ -143,6 +144,9 @@ func NewListStarter() *ListStarter { return &ListStarter{} }
 
 // Name implements Starter.
 func (*ListStarter) Name() string { return string(StartList) }
+
+// SetInterrupt implements Interruptible.
+func (s *ListStarter) SetInterrupt(f func() bool) { s.interrupt = f }
 
 // Pick implements Starter.
 func (s *ListStarter) Pick(ordered []*job.Job, now int64, free int, running []sim.Running, machineNodes int) *job.Job {
@@ -162,8 +166,8 @@ func (s *ListStarter) Pick(ordered []*job.Job, now int64, free int, running []si
 func (s *ListStarter) PickMany(ordered []*job.Job, now int64, free int, running []sim.Running, machineNodes int) []*job.Job {
 	s.reset()
 	s.picked = s.picked[:0]
-	for _, j := range ordered {
-		if j.Nodes > free {
+	for i, j := range ordered {
+		if j.Nodes > free || stopAt(s.interrupt, i) {
 			break
 		}
 		s.stash(j, telemetry.Decision{
@@ -182,7 +186,8 @@ func (s *ListStarter) PickMany(ordered []*job.Job, now int64, free int, running 
 // already starts anything that fits.
 type GareyGrahamStarter struct {
 	decided
-	picked []*job.Job
+	picked    []*job.Job
+	interrupt func() bool
 }
 
 // NewGareyGrahamStarter returns the free-for-all start policy.
@@ -190,6 +195,9 @@ func NewGareyGrahamStarter() *GareyGrahamStarter { return &GareyGrahamStarter{} 
 
 // Name implements Starter.
 func (*GareyGrahamStarter) Name() string { return string(StartList) }
+
+// SetInterrupt implements Interruptible.
+func (s *GareyGrahamStarter) SetInterrupt(f func() bool) { s.interrupt = f }
 
 // Pick implements Starter.
 func (s *GareyGrahamStarter) Pick(ordered []*job.Job, now int64, free int, running []sim.Running, machineNodes int) *job.Job {
@@ -222,7 +230,10 @@ func (s *GareyGrahamStarter) PickMany(ordered []*job.Job, now int64, free int, r
 	s.picked = s.picked[:0]
 	depth := 0
 	headID := telemetry.None
-	for _, j := range ordered {
+	for i, j := range ordered {
+		if stopAt(s.interrupt, i) {
+			break
+		}
 		if j.Nodes <= free {
 			d := telemetry.Decision{
 				Starter: s.Name(), Reason: telemetry.ReasonScanFit,
@@ -278,6 +289,8 @@ type EASYStarter struct {
 	picked []*job.Job
 	rem    []*job.Job
 	runBuf []sim.Running
+	// interrupt is the cooperative cancellation hook (Interruptible).
+	interrupt func() bool
 }
 
 // NewEASYStarter returns the EASY backfilling start policy.
@@ -285,6 +298,9 @@ func NewEASYStarter() *EASYStarter { return &EASYStarter{} }
 
 // Name implements Starter.
 func (*EASYStarter) Name() string { return string(StartEASY) }
+
+// SetInterrupt implements Interruptible.
+func (s *EASYStarter) SetInterrupt(f func() bool) { s.interrupt = f }
 
 // Instrument implements Instrumented.
 func (s *EASYStarter) Instrument(h telemetry.Hooks) {
@@ -332,7 +348,7 @@ func (s *EASYStarter) PickMany(ordered []*job.Job, now int64, free int, running 
 		s.buildDrainProfile(now, running, machineNodes)
 		p := s.scratch
 		p.BeginPass(now)
-		for len(rem) > 0 && free > 0 {
+		for len(rem) > 0 && free > 0 && !stopNow(s.interrupt) {
 			j := s.drainPickOne(rem, now, free)
 			if j == nil {
 				break
@@ -351,7 +367,7 @@ func (s *EASYStarter) PickMany(ordered []*job.Job, now int64, free int, running 
 		return s.picked
 	}
 	runLocal := append(s.runBuf[:0], running...)
-	for len(rem) > 0 && free > 0 {
+	for len(rem) > 0 && free > 0 && !stopNow(s.interrupt) {
 		j := s.pickOne(rem, now, free, runLocal)
 		if j == nil {
 			break
@@ -387,6 +403,9 @@ func (s *EASYStarter) pickOne(ordered []*job.Job, now int64, free int, running [
 			Shadow: shadow, Spare: spare})
 	}
 	for i, j := range ordered[1:] {
+		if stopAt(s.interrupt, i) {
+			return nil
+		}
 		if j.Nodes > free {
 			continue
 		}
@@ -463,6 +482,9 @@ func (s *EASYStarter) drainPickOne(ordered []*job.Job, now int64, free int) *job
 			Shadow: shadow, Spare: spare})
 	}
 	for i, j := range ordered[1:] {
+		if stopAt(s.interrupt, i) {
+			return nil
+		}
 		if !fit(j) {
 			continue
 		}
@@ -559,6 +581,8 @@ type ConservativeStarter struct {
 	// still start" probe behind the no-fit fast path and the post-pick
 	// early stop.
 	sufMin []int
+	// interrupt is the cooperative cancellation hook (Interruptible).
+	interrupt func() bool
 }
 
 // NewConservativeStarter returns the exact conservative backfilling
@@ -577,6 +601,9 @@ func NewFastConservativeStarter(maxDepth int) *ConservativeStarter {
 
 // Name implements Starter.
 func (*ConservativeStarter) Name() string { return string(StartConservative) }
+
+// SetInterrupt implements Interruptible.
+func (s *ConservativeStarter) SetInterrupt(f func() bool) { s.interrupt = f }
 
 // Announce implements FailureAware.
 func (s *ConservativeStarter) Announce(windows []sim.Failure) { s.announced = windows }
@@ -609,7 +636,10 @@ func (s *ConservativeStarter) pickOne(ordered []*job.Job, now int64, free int, r
 	// Fast path: nothing in the queue fits the free nodes, so no
 	// reservation can be "now".
 	fits := false
-	for _, j := range ordered {
+	for i, j := range ordered {
+		if stopAt(s.interrupt, i) {
+			return nil
+		}
 		if j.Nodes <= free {
 			fits = true
 			break
@@ -662,6 +692,9 @@ func (s *ConservativeStarter) pickOne(ordered []*job.Job, now int64, free int, r
 	// must simply not promise that capacity to anyone else).
 	reserveDrains(p, s.announced, now, horizon)
 	for i, j := range ordered[:depth] {
+		if stopAt(s.interrupt, i) {
+			return nil
+		}
 		t := p.EarliestFit(j.Nodes, j.Estimate, now)
 		if t == now {
 			// The profile assumes the machine's nominal size; an injected
@@ -714,7 +747,7 @@ func (s *ConservativeStarter) PickMany(ordered []*job.Job, now int64, free int, 
 	}
 	rem := append(s.rem[:0], ordered...)
 	runLocal := append(s.runBuf[:0], running...)
-	for len(rem) > 0 && free > 0 {
+	for len(rem) > 0 && free > 0 && !stopNow(s.interrupt) {
 		j := s.pickOne(rem, now, free, runLocal, machineNodes)
 		if j == nil {
 			break
@@ -780,6 +813,9 @@ func (s *ConservativeStarter) pickManyExact(ordered []*job.Job, now int64, free 
 		}
 		if s.maxDepth > 0 && walked >= s.maxDepth {
 			break
+		}
+		if stopAt(s.interrupt, pos) {
+			break // interrupted: partial pass, run is being discarded
 		}
 		t := p.EarliestFit(j.Nodes, j.Estimate, now)
 		if t == now && j.Nodes <= free {

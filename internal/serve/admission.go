@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrRateLimited is the admission controller's refusal; the HTTP layer
+// maps it to 429 with a Retry-After.
+var ErrRateLimited = errors.New("serve: rate limited")
+
+// Buckets is a per-user token-bucket admission controller: each user
+// accrues Rate tokens per second up to Burst, and a submission of n
+// jobs spends n tokens. Refusals are cheap (no allocation, no queueing)
+// and come with the delay after which the request would succeed, so
+// clients can back off precisely instead of hammering. Safe for
+// concurrent use.
+type Buckets struct {
+	rate  float64
+	burst float64
+	// now is injectable for tests; the daemon passes time.Now. Admission
+	// is intentionally wall-clock — it shapes real request load and is
+	// invisible to the deterministic session state.
+	now func() time.Time
+
+	mu    sync.Mutex
+	users map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxUsers bounds the bucket map; beyond it, full buckets are swept
+// (forgetting a full bucket is lossless — an idle user re-enters with a
+// full bucket anyway), so an adversary cycling user names cannot grow
+// memory without bound.
+const maxUsers = 16384
+
+// NewBuckets builds the controller. rate <= 0 disables admission
+// control (every request admitted).
+func NewBuckets(rate, burst float64, now func() time.Time) *Buckets {
+	if burst < 1 {
+		burst = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Buckets{rate: rate, burst: burst, now: now, users: make(map[string]*bucket)}
+}
+
+// AllowN spends n tokens from user's bucket. When the bucket is short
+// it spends nothing and returns the wait until n tokens will have
+// accrued (minimum 1s granularity is the caller's concern).
+func (b *Buckets) AllowN(user string, n int) (ok bool, retryAfter time.Duration) {
+	if b == nil || b.rate <= 0 {
+		return true, 0
+	}
+	need := float64(n)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t := b.now()
+	u := b.users[user]
+	if u == nil {
+		if len(b.users) >= maxUsers {
+			b.sweep()
+		}
+		u = &bucket{tokens: b.burst, last: t}
+		b.users[user] = u
+	} else {
+		u.tokens += t.Sub(u.last).Seconds() * b.rate
+		if u.tokens > b.burst {
+			u.tokens = b.burst
+		}
+		u.last = t
+	}
+	if u.tokens >= need {
+		u.tokens -= need
+		return true, 0
+	}
+	// A request larger than the burst can never accrue enough; quote the
+	// full-bucket wait so the client learns to split the batch.
+	short := need - u.tokens
+	if need > b.burst {
+		short = b.burst - u.tokens
+	}
+	return false, time.Duration(short / b.rate * float64(time.Second))
+}
+
+// sweep drops buckets that have re-filled (idle users). Requires b.mu.
+func (b *Buckets) sweep() {
+	t := b.now()
+	for name, u := range b.users {
+		if u.tokens+t.Sub(u.last).Seconds()*b.rate >= b.burst {
+			delete(b.users, name)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable deterministic clock for admission tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time       { return c.t }
+func (c *fakeClock) tick(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock            { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func TestBucketsBurstThenRefill(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBuckets(10, 20, clk.now)
+
+	// The full burst is admitted instantly.
+	if ok, _ := b.AllowN("u", 20); !ok {
+		t.Fatal("burst refused")
+	}
+	// Then the bucket is dry: refusal quotes the accrual wait.
+	ok, wait := b.AllowN("u", 5)
+	if ok {
+		t.Fatal("over-burst admitted")
+	}
+	if wait != 500*time.Millisecond {
+		t.Fatalf("retry-after %v, want 500ms (5 tokens at 10/s)", wait)
+	}
+	// A refusal spends nothing: the same request succeeds exactly after
+	// the quoted wait.
+	clk.tick(wait)
+	if ok, _ := b.AllowN("u", 5); !ok {
+		t.Fatal("admission after quoted wait refused")
+	}
+	// Tokens cap at the burst, not beyond.
+	clk.tick(time.Hour)
+	if ok, _ := b.AllowN("u", 20); !ok {
+		t.Fatal("refilled burst refused")
+	}
+	if ok, _ := b.AllowN("u", 1); ok {
+		t.Fatal("bucket exceeded its burst after a long idle")
+	}
+}
+
+func TestBucketsPerUserIsolation(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBuckets(1, 1, clk.now)
+	if ok, _ := b.AllowN("heavy", 1); !ok {
+		t.Fatal("first request refused")
+	}
+	if ok, _ := b.AllowN("heavy", 1); ok {
+		t.Fatal("heavy user not limited")
+	}
+	// Another user's bucket is untouched by heavy's consumption.
+	if ok, _ := b.AllowN("light", 1); !ok {
+		t.Fatal("light user starved by heavy user")
+	}
+}
+
+// TestBucketsOverBurstRequest: a batch larger than the burst can never
+// succeed; the quote is the full-bucket wait so the client learns to
+// split rather than waiting forever.
+func TestBucketsOverBurstRequest(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBuckets(10, 20, clk.now)
+	ok, wait := b.AllowN("u", 100)
+	if ok {
+		t.Fatal("over-burst batch admitted")
+	}
+	if wait != 0 {
+		t.Fatalf("full bucket should quote 0 wait (the batch must be split), got %v", wait)
+	}
+}
+
+func TestBucketsDisabledAndNil(t *testing.T) {
+	if ok, _ := NewBuckets(0, 0, nil).AllowN("u", 1<<30); !ok {
+		t.Fatal("rate 0 must admit everything")
+	}
+	var b *Buckets
+	if ok, _ := b.AllowN("u", 1); !ok {
+		t.Fatal("nil buckets must admit everything")
+	}
+}
+
+// TestBucketsBoundedUsers: cycling user names cannot grow the map
+// without bound — full (idle) buckets are swept.
+func TestBucketsBoundedUsers(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBuckets(10, 20, clk.now)
+	for i := 0; i < 3*maxUsers; i++ {
+		// Spend nothing (1 token then idle-refill via tick) so every
+		// bucket is sweepable by the time the map fills.
+		if ok, _ := b.AllowN(fmt.Sprintf("u%d", i), 1); !ok {
+			t.Fatalf("user %d refused", i)
+		}
+		clk.tick(time.Second)
+	}
+	b.mu.Lock()
+	n := len(b.users)
+	b.mu.Unlock()
+	if n > maxUsers {
+		t.Fatalf("user map grew to %d, bound is %d", n, maxUsers)
+	}
+}

@@ -1,0 +1,289 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// randomSpecs draws a small submission batch.
+func randomSpecs(r *rand.Rand, nodes int) []JobSpec {
+	specs := make([]JobSpec, 1+r.Intn(3))
+	for i := range specs {
+		specs[i] = JobSpec{
+			Name:     fmt.Sprintf("u%d", r.Intn(100)),
+			User:     fmt.Sprintf("user%d", r.Intn(4)),
+			Nodes:    1 + r.Intn(nodes),
+			Estimate: int64(30 + r.Intn(500)),
+		}
+		if r.Intn(4) == 0 {
+			specs[i].Runtime = specs[i].Estimate / 2
+		}
+		if r.Intn(5) == 0 {
+			specs[i].Deadline = int64(r.Intn(3000))
+		}
+	}
+	return specs
+}
+
+// TestRecoveryPropertyRandomOps is the crash-recovery property test: a
+// random operation sequence applied through the durable store, with the
+// store torn down and reopened at random points (and a snapshot cadence
+// small enough that replay exercises snapshot+suffix), must track a
+// plain in-memory session applying the same sequence — fingerprints
+// equal at every reopen and at the end.
+func TestRecoveryPropertyRandomOps(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		dir := t.TempDir()
+		const nodes = 32
+		opt := StoreOptions{SnapshotEvery: 5, IntakeDepth: 8, BatchMax: 4}
+
+		ref, err := NewSession("prop", Config{Nodes: nodes, MaxPending: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		store, err := OpenStore(dir, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Create("prop", Config{Nodes: nodes, MaxPending: 50}); err != nil {
+			t.Fatal(err)
+		}
+
+		ctx := context.Background()
+		clock := int64(0)
+		for op := 0; op < 120; op++ {
+			switch r.Intn(4) {
+			case 0, 1:
+				specs := randomSpecs(r, nodes)
+				if _, err := store.Submit(ctx, "prop", specs); err != nil {
+					t.Fatalf("seed %d op %d submit: %v", seed, op, err)
+				}
+				if _, err := ref.Submit(specs); err != nil {
+					t.Fatalf("seed %d op %d ref submit: %v", seed, op, err)
+				}
+			case 2:
+				clock += int64(r.Intn(200))
+				if err := store.Advance(ctx, "prop", clock); err != nil {
+					t.Fatalf("seed %d op %d advance: %v", seed, op, err)
+				}
+				if err := ref.Advance(clock); err != nil {
+					t.Fatalf("seed %d op %d ref advance: %v", seed, op, err)
+				}
+			case 3:
+				if r.Intn(3) != 0 {
+					continue
+				}
+				// Tear the store down (graceful here; the torn-tail and
+				// kill -9 paths get their own tests) and recover.
+				if err := store.Drain(ctx); err != nil {
+					t.Fatalf("seed %d op %d drain: %v", seed, op, err)
+				}
+				store, err = OpenStore(dir, opt)
+				if err != nil {
+					t.Fatalf("seed %d op %d reopen: %v", seed, op, err)
+				}
+				info, err := store.Info("prop")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := fmt.Sprintf("%016x", ref.Fingerprint()); info.Fingerprint != want {
+					t.Fatalf("seed %d op %d: recovered fingerprint %s, want %s", seed, op, info.Fingerprint, want)
+				}
+			}
+		}
+		info, err := store.Info("prop")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("%016x", ref.Fingerprint()); info.Fingerprint != want {
+			t.Fatalf("seed %d final: fingerprint %s, want %s", seed, info.Fingerprint, want)
+		}
+		if info.Agg != ref.Agg() {
+			t.Fatalf("seed %d final aggregates: %+v vs %+v", seed, info.Agg, ref.Agg())
+		}
+		if err := store.Drain(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRecoveryTornWALTail simulates kill -9 mid-append: committed
+// operations survive, the torn line is discarded, and the store keeps
+// accepting work.
+func TestRecoveryTornWALTail(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	store, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Create("s", Config{Nodes: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Submit(ctx, "s", []JobSpec{{Nodes: 4, Estimate: 100}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Advance(ctx, "s", 40); err != nil {
+		t.Fatal(err)
+	}
+	pre, err := store.Info("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Append half a record, as a crash mid-write would leave.
+	walPath := filepath.Join(dir, "sessions", "s", walFile)
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":3,"op":"subm`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store, err = OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatalf("torn tail must recover, got %v", err)
+	}
+	post, err := store.Info("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post.Fingerprint != pre.Fingerprint {
+		t.Fatalf("recovered fingerprint %s != pre-crash %s", post.Fingerprint, pre.Fingerprint)
+	}
+	if post.WALSeq != 2 {
+		t.Fatalf("wal seq %d after torn-tail recovery, want 2", post.WALSeq)
+	}
+	// And the truncated log accepts new commits on a clean boundary.
+	if _, err := store.Submit(ctx, "s", []JobSpec{{Nodes: 2, Estimate: 50}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	store, err = OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info, err := store.Info("s"); err != nil || info.WALSeq != 3 {
+		t.Fatalf("after post-recovery commit: info=%+v err=%v", info, err)
+	}
+	if err := store.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoveryTornSnapshotTemp simulates kill -9 mid-snapshot-write:
+// the temp file is ignored and the WAL (plus any previously published
+// snapshot) recovers the state.
+func TestRecoveryTornSnapshotTemp(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	// SnapshotEvery 3 so a snapshot is published mid-sequence.
+	store, err := OpenStore(dir, StoreOptions{SnapshotEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Create("s", Config{Nodes: 8}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := store.Submit(ctx, "s", []JobSpec{{Nodes: 1, Estimate: 60}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pre, err := store.Info("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	sdir := filepath.Join(dir, "sessions", "s")
+	if _, err := os.Stat(filepath.Join(sdir, snapshotFile)); err != nil {
+		t.Fatalf("expected a published snapshot: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(sdir, snapshotFile+".tmp"), []byte(`{"version":1,"na`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	store, err = OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatalf("torn snapshot temp must recover: %v", err)
+	}
+	post, err := store.Info("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post.Fingerprint != pre.Fingerprint {
+		t.Fatalf("recovered %s != pre-crash %s", post.Fingerprint, pre.Fingerprint)
+	}
+	if err := store.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoveryRefusesCorruptSnapshot: a published-but-tampered snapshot
+// must fail the open loudly, not serve a state clients were never acked.
+func TestRecoveryRefusesCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	store, err := OpenStore(dir, StoreOptions{SnapshotEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Create("s", Config{Nodes: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Submit(ctx, "s", []JobSpec{{Nodes: 1, Estimate: 60}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(dir, "sessions", "s", snapshotFile)
+	data, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := []byte(string(data))
+	// Flip the submitted counter inside the published snapshot.
+	tampered = []byte(replaceOnce(t, string(tampered), `"submitted": 1`, `"submitted": 2`))
+	if err := os.WriteFile(snapPath, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(dir, StoreOptions{}); err == nil {
+		t.Fatal("tampered snapshot served")
+	}
+}
+
+func replaceOnce(t *testing.T, s, old, new string) string {
+	t.Helper()
+	i := indexOf(s, old)
+	if i < 0 {
+		t.Fatalf("%q not found in snapshot", old)
+	}
+	return s[:i] + new + s[i+len(old):]
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

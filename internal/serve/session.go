@@ -1,0 +1,619 @@
+package serve
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"regexp"
+
+	"jobsched/internal/job"
+	"jobsched/internal/sched"
+	"jobsched/internal/sim"
+	"jobsched/internal/telemetry"
+)
+
+// ErrInterrupted is returned by a session operation abandoned by the
+// cooperative cancellation hook (request timeout, client disconnect).
+// The in-memory state may be half-mutated: the owner must reload the
+// session from disk before applying anything else.
+var ErrInterrupted = errors.New("serve: operation interrupted")
+
+// ErrRejected marks clean, no-mutation rejections (invalid spec, bad
+// advance target): the session state is untouched, no recovery needed,
+// and the HTTP layer maps it to a 4xx instead of a 5xx.
+var ErrRejected = errors.New("serve: rejected")
+
+func rejectf(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrRejected)...)
+}
+
+// Config is a session's machine and policy configuration, fixed at
+// creation and stored durably next to its WAL.
+type Config struct {
+	// Nodes is the machine size.
+	Nodes int `json:"nodes"`
+	// Order and Start select the scheduling algorithm (sched.OrderName /
+	// sched.StartName); empty defaults to FCFS / EASY-Backfilling.
+	// Recovery is byte-identical for removal-stable orders (FCFS,
+	// Garey&Graham); SMART/PSRS sessions restore to a content-equivalent
+	// queue whose replan counters restart, which can change future (not
+	// past) decisions — the API refuses them unless AllowUnstable.
+	Order string `json:"order,omitempty"`
+	Start string `json:"start,omitempty"`
+	// MaxPending bounds the waiting queue: submissions beyond it are
+	// shed (recorded, never scheduled) instead of growing memory without
+	// bound. Default 10000.
+	MaxPending int `json:"max_pending,omitempty"`
+	// DoneHistory bounds how many finished/expired/shed job records stay
+	// queryable; older ones are evicted. Default 10000.
+	DoneHistory int `json:"done_history,omitempty"`
+	// AllowUnstable permits SMART/PSRS order policies despite their
+	// weaker (content-equivalent, not counter-identical) recovery.
+	AllowUnstable bool `json:"allow_unstable,omitempty"`
+}
+
+const (
+	defaultMaxPending  = 10000
+	defaultDoneHistory = 10000
+)
+
+func (c Config) withDefaults() Config {
+	if c.Order == "" {
+		c.Order = string(sched.OrderFCFS)
+	}
+	if c.Start == "" {
+		c.Start = string(sched.StartEASY)
+	}
+	if c.MaxPending == 0 {
+		c.MaxPending = defaultMaxPending
+	}
+	if c.DoneHistory == 0 {
+		c.DoneHistory = defaultDoneHistory
+	}
+	return c
+}
+
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+// Validate checks the configuration, including that the order/start
+// pair constructs (the same check sched.New applies).
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.Nodes <= 0 {
+		return rejectf("serve: session needs nodes > 0")
+	}
+	if c.MaxPending < 0 || c.DoneHistory < 0 {
+		return rejectf("serve: max_pending and done_history must be >= 0")
+	}
+	switch sched.OrderName(c.Order) {
+	case sched.OrderFCFS, sched.OrderGG:
+	case sched.OrderPSRS, sched.OrderSMARTFFIA, sched.OrderSMARTNFIW:
+		if !c.AllowUnstable {
+			return rejectf("serve: order %q replans from counters that do not survive recovery; set allow_unstable to accept content-equivalent restores", c.Order)
+		}
+	default:
+		return rejectf("serve: unknown order policy %q", c.Order)
+	}
+	if _, err := sched.New(sched.OrderName(c.Order), sched.StartName(c.Start), sched.Config{MachineNodes: c.Nodes}); err != nil {
+		return rejectf("serve: %v", err)
+	}
+	return nil
+}
+
+// JobSpec is a client-submitted job. Times are logical (session clock
+// units): the session is a deterministic simulation driven by explicit
+// advance operations, which is what makes crash recovery replayable.
+type JobSpec struct {
+	Name string `json:"name,omitempty"`
+	User string `json:"user,omitempty"`
+	// Nodes is the job's width; Estimate the client's runtime bound.
+	Nodes    int   `json:"nodes"`
+	Estimate int64 `json:"estimate"`
+	// Runtime is the simulated execution time (0 = Estimate). Like the
+	// core machine model, a job is killed at its estimate.
+	Runtime int64 `json:"runtime,omitempty"`
+	// Deadline, when > 0, is the latest session clock at which the job
+	// may still start; a job still waiting past it is expired and
+	// withdrawn (0 = no deadline).
+	Deadline int64 `json:"deadline,omitempty"`
+}
+
+func (sp JobSpec) normalized() JobSpec {
+	if sp.Runtime == 0 {
+		sp.Runtime = sp.Estimate
+	}
+	return sp
+}
+
+func (sp JobSpec) validate(machineNodes int) error {
+	if sp.Nodes <= 0 {
+		return rejectf("serve: job needs nodes > 0")
+	}
+	if sp.Nodes > machineNodes {
+		return rejectf("serve: job needs %d nodes, machine has %d", sp.Nodes, machineNodes)
+	}
+	if sp.Estimate <= 0 {
+		return rejectf("serve: job needs estimate > 0")
+	}
+	if sp.Runtime < 0 || sp.Deadline < 0 {
+		return rejectf("serve: runtime and deadline must be >= 0")
+	}
+	return nil
+}
+
+// JobStatus is a job's lifecycle state in a session.
+type JobStatus string
+
+const (
+	StatusPending JobStatus = "pending"
+	StatusRunning JobStatus = "running"
+	StatusDone    JobStatus = "done"
+	// StatusExpired marks a job whose deadline passed before it started.
+	StatusExpired JobStatus = "expired"
+	// StatusShed marks a job refused by the bounded pending queue.
+	StatusShed JobStatus = "shed"
+)
+
+// SubmitResult is the per-job outcome of a submit operation.
+type SubmitResult struct {
+	ID     int64     `json:"id"`
+	Status JobStatus `json:"status"`
+}
+
+// Aggregates are the session's running totals. They are part of the
+// fingerprinted state, so recovery provably reconstructs them.
+type Aggregates struct {
+	Submitted int64 `json:"submitted"`
+	Started   int64 `json:"started"`
+	Completed int64 `json:"completed"`
+	Expired   int64 `json:"expired"`
+	Shed      int64 `json:"shed"`
+	// SumWait totals start-submit over started jobs; SumResponse totals
+	// end-submit over completed ones (saturating).
+	SumWait     int64 `json:"sum_wait"`
+	SumResponse int64 `json:"sum_response"`
+}
+
+// jobState is a job's live record.
+type jobState struct {
+	id     job.ID
+	spec   JobSpec
+	status JobStatus
+	submit int64
+	start  int64
+	end    int64
+	seq    int      // start order; breaks completion ties
+	j      *job.Job // live core job (pending/running only)
+}
+
+// completionEvent and deadlineEvent are the session's two event heaps.
+type completionEvent struct {
+	at  int64
+	seq int
+	id  job.ID
+}
+
+type completionQueue []completionEvent
+
+func (h completionQueue) Len() int { return len(h) }
+func (h completionQueue) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h completionQueue) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *completionQueue) Push(x any)   { *h = append(*h, x.(completionEvent)) }
+func (h *completionQueue) Pop() any {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+type deadlineEvent struct {
+	at int64
+	id job.ID
+}
+
+type deadlineQueue []deadlineEvent
+
+func (h deadlineQueue) Len() int { return len(h) }
+func (h deadlineQueue) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].id < h[j].id
+}
+func (h deadlineQueue) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *deadlineQueue) Push(x any)   { *h = append(*h, x.(deadlineEvent)) }
+func (h *deadlineQueue) Pop() any {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// Session is one machine's live scheduling state: a deterministic
+// logical-clock event engine around a sched.Composite. Its state is a
+// pure function of the operation sequence (submit/advance), which is
+// the invariant WAL replay and snapshot restore rely on. A Session is
+// not safe for concurrent use; the per-session store worker is its
+// single writer.
+type Session struct {
+	name string
+	cfg  Config
+	sch  *sched.Composite
+
+	clock    int64
+	nextID   int64
+	free     int
+	startSeq int
+
+	jobs map[job.ID]*jobState
+	// pendingOrder is the arrival order of pending jobs (entries whose
+	// status moved on are skipped and lazily compacted); pendingN counts
+	// the live ones.
+	pendingOrder []job.ID
+	pendingN     int
+	running      map[job.ID]*jobState
+	completions  completionQueue
+	deadlines    deadlineQueue
+	// retired is the bounded eviction ring over done/expired/shed jobs,
+	// oldest first.
+	retired []job.ID
+	agg     Aggregates
+
+	// audit receives the decision trace (nil = off); replaying marks
+	// recovery replay, which re-applies state without re-emitting audit.
+	audit     telemetry.Recorder
+	replaying bool
+	// interrupt is polled between event instants and threaded into the
+	// scheduler's pass loops. The hook must be sticky (once true, stays
+	// true for the rest of the operation — a context check is): a
+	// transient hook could truncate a pass without the operation
+	// noticing, committing a state replay would not reproduce.
+	interrupt func() bool
+
+	runBuf []sim.Running
+}
+
+// NewSession builds an empty session. The config must already be
+// validated (Config.Validate).
+func NewSession(name string, cfg Config) (*Session, error) {
+	if !nameRE.MatchString(name) {
+		return nil, rejectf("serve: invalid session name %q", name)
+	}
+	cfg = cfg.withDefaults()
+	sch, err := sched.New(sched.OrderName(cfg.Order), sched.StartName(cfg.Start), sched.Config{MachineNodes: cfg.Nodes})
+	if err != nil {
+		return nil, rejectf("serve: %v", err)
+	}
+	return &Session{
+		name:    name,
+		cfg:     cfg,
+		sch:     sch,
+		free:    cfg.Nodes,
+		nextID:  1,
+		jobs:    make(map[job.ID]*jobState),
+		running: make(map[job.ID]*jobState),
+	}, nil
+}
+
+// SetAudit installs the audit-trace recorder (nil = off).
+func (s *Session) SetAudit(rec telemetry.Recorder) { s.audit = rec }
+
+// SetInterrupt installs the cooperative cancellation hook for the next
+// operations (nil = never). See the field comment for the stickiness
+// requirement.
+func (s *Session) SetInterrupt(f func() bool) {
+	s.interrupt = f
+	s.sch.SetInterrupt(f)
+}
+
+// Name returns the session name.
+func (s *Session) Name() string { return s.name }
+
+// Clock returns the session's logical time.
+func (s *Session) Clock() int64 { return s.clock }
+
+// Counts returns (pending, running) job counts.
+func (s *Session) Counts() (pending, running int) { return s.pendingN, len(s.running) }
+
+// Agg returns the session's running totals.
+func (s *Session) Agg() Aggregates { return s.agg }
+
+// ConfigValue returns the session's configuration.
+func (s *Session) ConfigValue() Config { return s.cfg }
+
+func stopNow(f func() bool) bool { return f != nil && f() }
+
+// Submit validates and applies a batch of job submissions at the
+// current clock. Validation happens before any mutation, so a rejected
+// batch (ErrRejected) leaves the session untouched; any other error
+// means the state is poisoned and must be reloaded from disk.
+func (s *Session) Submit(specs []JobSpec) ([]SubmitResult, error) {
+	if len(specs) == 0 {
+		return nil, rejectf("serve: empty submission")
+	}
+	norm := make([]JobSpec, len(specs))
+	for i, sp := range specs {
+		norm[i] = sp.normalized()
+		if err := norm[i].validate(s.cfg.Nodes); err != nil {
+			return nil, err
+		}
+	}
+	results := make([]SubmitResult, 0, len(norm))
+	for _, sp := range norm {
+		id := job.ID(s.nextID)
+		s.nextID++
+		st := &jobState{id: id, spec: sp, submit: s.clock}
+		s.jobs[id] = st
+		switch {
+		case s.pendingN >= s.cfg.MaxPending:
+			// Bounded queue: record the refusal durably (it is part of
+			// the replayed state) but never schedule the job.
+			st.status = StatusShed
+			s.agg.Shed++
+			s.retire(st)
+		case sp.Deadline > 0 && sp.Deadline < s.clock:
+			st.status = StatusExpired
+			s.agg.Expired++
+			s.retire(st)
+		default:
+			st.status = StatusPending
+			st.j = &job.Job{ID: id, Name: sp.Name, User: sp.User, Nodes: sp.Nodes,
+				Submit: s.clock, Estimate: sp.Estimate, Runtime: sp.Runtime}
+			s.pendingOrder = append(s.pendingOrder, id)
+			s.pendingN++
+			if sp.Deadline > 0 {
+				heap.Push(&s.deadlines, deadlineEvent{at: sp.Deadline, id: id})
+			}
+			s.agg.Submitted++
+			s.sch.Submit(st.j, s.clock)
+			if s.audit != nil && !s.replaying {
+				s.audit.Record(telemetry.Event{Type: telemetry.EventArrival, At: s.clock,
+					Job: int64(id), Nodes: sp.Nodes, Head: telemetry.None})
+			}
+		}
+		results = append(results, SubmitResult{ID: int64(id), Status: st.status})
+	}
+	if err := s.runPasses(); err != nil {
+		return nil, err
+	}
+	s.maybeCompact()
+	return results, nil
+}
+
+// Advance moves the session clock to `to`, delivering completions,
+// expiring deadlines, and running scheduling passes at every event
+// instant in between. Advancing to or before the current clock is a
+// deterministic no-op (idempotent under client retries). Any non-nil
+// error except ErrRejected poisons the state.
+func (s *Session) Advance(to int64) error {
+	if to < 0 {
+		return rejectf("serve: advance target must be >= 0")
+	}
+	for s.clock < to {
+		if stopNow(s.interrupt) {
+			return ErrInterrupted
+		}
+		t := to
+		if s.completions.Len() > 0 && s.completions[0].at < t {
+			t = s.completions[0].at
+		}
+		if d, ok := s.earliestDeadline(); ok {
+			// Expiry takes effect the instant after the deadline: at the
+			// deadline itself the job may still start.
+			if x := job.AddSat(d, 1); x < t {
+				t = x
+			}
+		}
+		s.clock = t
+		for s.completions.Len() > 0 && s.completions[0].at == t {
+			ev := heap.Pop(&s.completions).(completionEvent)
+			s.finish(ev.id, t)
+		}
+		s.expireDeadlines(t)
+		if err := s.runPasses(); err != nil {
+			return err
+		}
+	}
+	s.maybeCompact()
+	return nil
+}
+
+// earliestDeadline peeks the next live deadline, skipping entries whose
+// jobs already started or retired (lazy deletion).
+func (s *Session) earliestDeadline() (int64, bool) {
+	for s.deadlines.Len() > 0 {
+		ev := s.deadlines[0]
+		st := s.jobs[ev.id]
+		if st == nil || st.status != StatusPending {
+			heap.Pop(&s.deadlines)
+			continue
+		}
+		return ev.at, true
+	}
+	return 0, false
+}
+
+// expireDeadlines withdraws every still-pending job whose deadline lies
+// strictly before now.
+func (s *Session) expireDeadlines(now int64) {
+	for s.deadlines.Len() > 0 {
+		ev := s.deadlines[0]
+		st := s.jobs[ev.id]
+		if st == nil || st.status != StatusPending {
+			heap.Pop(&s.deadlines)
+			continue
+		}
+		if ev.at >= now {
+			return
+		}
+		heap.Pop(&s.deadlines)
+		s.sch.Withdraw(st.j, now)
+		st.status = StatusExpired
+		st.j = nil
+		s.pendingN--
+		s.agg.Expired++
+		s.retire(st)
+		if s.audit != nil && !s.replaying {
+			s.audit.Record(telemetry.Event{Type: telemetry.EventLost, At: now,
+				Job: int64(st.id), Nodes: st.spec.Nodes, Head: telemetry.None})
+		}
+	}
+}
+
+// finish delivers one completion: free the nodes, settle the record,
+// notify the scheduler.
+func (s *Session) finish(id job.ID, now int64) {
+	st := s.running[id]
+	if st == nil {
+		return
+	}
+	delete(s.running, id)
+	s.free += st.spec.Nodes
+	st.status = StatusDone
+	s.agg.Completed++
+	s.agg.SumResponse = job.AddSat(s.agg.SumResponse, st.end-st.submit)
+	j := st.j
+	st.j = nil
+	s.retire(st)
+	if s.audit != nil && !s.replaying {
+		s.audit.Record(telemetry.Event{Type: telemetry.EventFinish, At: now,
+			Job: int64(id), Nodes: st.spec.Nodes, Head: telemetry.None, Killed: j.Killed()})
+	}
+	s.sch.JobFinished(j, now)
+}
+
+// runPasses lets the scheduler start jobs at the current instant until
+// it declines, mirroring the sim engine's pass loop.
+func (s *Session) runPasses() error {
+	for {
+		if stopNow(s.interrupt) {
+			return ErrInterrupted
+		}
+		starts := s.sch.Startable(s.clock, s.free, s.runningList())
+		if len(starts) == 0 {
+			return nil
+		}
+		for _, j := range starts {
+			if j.Nodes > s.free {
+				return fmt.Errorf("serve: session %s: scheduler started %v with only %d nodes free", s.name, j, s.free)
+			}
+			st := s.jobs[j.ID]
+			if st == nil || st.status != StatusPending {
+				return fmt.Errorf("serve: session %s: scheduler started unknown or non-pending job %d", s.name, j.ID)
+			}
+			s.free -= j.Nodes
+			st.status = StatusRunning
+			st.start = s.clock
+			st.end = job.AddSat(s.clock, j.EffectiveRuntime())
+			st.seq = s.startSeq
+			s.startSeq++
+			s.pendingN--
+			s.running[j.ID] = st
+			heap.Push(&s.completions, completionEvent{at: st.end, seq: st.seq, id: j.ID})
+			s.agg.Started++
+			s.agg.SumWait = job.AddSat(s.agg.SumWait, st.start-st.submit)
+			if s.audit != nil && !s.replaying {
+				s.audit.Record(telemetry.Event{Type: telemetry.EventStart, At: s.clock,
+					Job: int64(j.ID), Nodes: j.Nodes, Free: s.free, Head: telemetry.None})
+			}
+			s.sch.JobStarted(j, s.clock)
+		}
+	}
+}
+
+// runningList snapshots the running set in ID order (the sim engine's
+// contract with Startable) into a reused buffer.
+func (s *Session) runningList() []sim.Running {
+	s.runBuf = s.runBuf[:0]
+	for _, id := range s.runningIDs() {
+		st := s.running[id]
+		s.runBuf = append(s.runBuf, sim.Running{Job: st.j, Start: st.start,
+			EstEnd: job.AddSat(st.start, st.spec.Estimate)})
+	}
+	return s.runBuf
+}
+
+// runningIDs returns the running job IDs sorted ascending.
+func (s *Session) runningIDs() []job.ID {
+	ids := make([]job.ID, 0, len(s.running))
+	for id := range s.running {
+		ids = append(ids, id)
+	}
+	sortIDs(ids)
+	return ids
+}
+
+func sortIDs(ids []job.ID) {
+	for i := 1; i < len(ids); i++ {
+		for k := i; k > 0 && ids[k] < ids[k-1]; k-- {
+			ids[k], ids[k-1] = ids[k-1], ids[k]
+		}
+	}
+}
+
+// retire appends a settled job to the bounded history ring, evicting
+// the oldest records beyond DoneHistory.
+func (s *Session) retire(st *jobState) {
+	s.retired = append(s.retired, st.id)
+	for len(s.retired) > s.cfg.DoneHistory {
+		old := s.retired[0]
+		s.retired = s.retired[1:]
+		delete(s.jobs, old)
+	}
+}
+
+// maybeCompact sweeps pendingOrder's tombstones (entries whose job
+// started or retired) once they dominate the slice. The sweep preserves
+// arrival order, so it never changes fingerprints or snapshots.
+func (s *Session) maybeCompact() {
+	if len(s.pendingOrder) < 64 || len(s.pendingOrder) < 2*s.pendingN {
+		return
+	}
+	live := s.pendingOrder[:0]
+	for _, id := range s.pendingOrder {
+		if st := s.jobs[id]; st != nil && st.status == StatusPending {
+			live = append(live, id)
+		}
+	}
+	s.pendingOrder = live
+}
+
+// pendingIDs returns the pending jobs in arrival order.
+func (s *Session) pendingIDs() []job.ID {
+	out := make([]job.ID, 0, s.pendingN)
+	for _, id := range s.pendingOrder {
+		if st := s.jobs[id]; st != nil && st.status == StatusPending {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Apply replays one WAL record. Replay must never cleanly reject: the
+// record committed once, so a rejection here means the log does not
+// match the state and the session must not serve.
+func (s *Session) Apply(rec Record) error {
+	s.replaying = true
+	defer func() { s.replaying = false }()
+	switch rec.Op {
+	case opSubmit:
+		_, err := s.Submit(rec.Jobs)
+		if errors.Is(err, ErrRejected) {
+			return fmt.Errorf("serve: session %s: wal record %d no longer applies: %v", s.name, rec.Seq, err)
+		}
+		return err
+	case opAdvance:
+		err := s.Advance(rec.At)
+		if errors.Is(err, ErrRejected) {
+			return fmt.Errorf("serve: session %s: wal record %d no longer applies: %v", s.name, rec.Seq, err)
+		}
+		return err
+	default:
+		return fmt.Errorf("serve: session %s: wal record %d has unknown op %q", s.name, rec.Seq, rec.Op)
+	}
+}

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// snapshotFile is the snapshot's name inside a session directory.
+const snapshotFile = "snapshot.json"
+
+// snapJob is one job's durable state inside a snapshot.
+type snapJob struct {
+	ID     int64   `json:"id"`
+	Spec   JobSpec `json:"spec"`
+	Submit int64   `json:"submit"`
+	Start  int64   `json:"start,omitempty"`
+	End    int64   `json:"end,omitempty"`
+	// Seq is the start order (running jobs only): it breaks completion
+	// ties, so restoring it keeps event delivery byte-identical.
+	Seq    int    `json:"seq,omitempty"`
+	Status string `json:"status,omitempty"`
+}
+
+// Snapshot is a session's full durable state at one WAL position:
+// restoring it and replaying the WAL records after WALSeq reconstructs
+// the session exactly. Pending jobs are stored in arrival order (the
+// order the order policy saw them), running jobs in start order.
+type Snapshot struct {
+	Version  int        `json:"version"`
+	Name     string     `json:"name"`
+	Config   Config     `json:"config"`
+	Clock    int64      `json:"clock"`
+	NextID   int64      `json:"next_id"`
+	StartSeq int        `json:"start_seq"`
+	WALSeq   uint64     `json:"wal_seq"`
+	Agg      Aggregates `json:"agg"`
+	Pending  []snapJob  `json:"pending"`
+	Running  []snapJob  `json:"running"`
+	Retired  []snapJob  `json:"retired"`
+	// Fingerprint is the state fingerprint at capture time; restore
+	// recomputes it and refuses a snapshot that does not round-trip, so
+	// a corrupt or hand-edited snapshot cannot silently resurrect a
+	// session into a state no client was ever acked.
+	Fingerprint string `json:"fingerprint"`
+}
+
+// writeSnapshot atomically replaces the session's snapshot. A crash at
+// any point leaves either the old or the new snapshot intact — never a
+// torn one (the kill-mid-write recovery test pins this).
+func writeSnapshot(dir string, snap *Snapshot) error {
+	data, err := json.MarshalIndent(snap, "", " ")
+	if err != nil {
+		return fmt.Errorf("serve: snapshot: %w", err)
+	}
+	return writeFileAtomic(dir, snapshotFile, data)
+}
+
+// writeFileAtomic durably replaces dir/name: write to a temp file,
+// fsync it, rename over the target, fsync the directory. The content
+// fsync before the rename is what makes the rename a commit point — a
+// crash can leave the old file or the new one, never a torn mix.
+func writeFileAtomic(dir, name string, data []byte) error {
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("serve: writing %s: %w", name, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		cerr := f.Close()
+		_ = cerr // the write failure is the actionable error
+		return fmt.Errorf("serve: writing %s: %w", name, err)
+	}
+	if err := f.Sync(); err != nil {
+		cerr := f.Close()
+		_ = cerr // the sync failure is the actionable error
+		return fmt.Errorf("serve: syncing %s: %w", name, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("serve: closing %s: %w", name, err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		return fmt.Errorf("serve: publishing %s: %w", name, err)
+	}
+	// Durably record the rename itself: without the directory fsync a
+	// crash can forget the new name while keeping the new inode.
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("serve: syncing dir for %s: %w", name, err)
+	}
+	if err := d.Sync(); err != nil {
+		cerr := d.Close()
+		_ = cerr // the sync failure is the actionable error
+		return fmt.Errorf("serve: syncing dir for %s: %w", name, err)
+	}
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("serve: syncing dir for %s: %w", name, err)
+	}
+	return nil
+}
+
+// readSnapshot loads the session snapshot, or returns (nil, nil) when
+// none has been written yet. A leftover temp file from a crash
+// mid-write is ignored (and cleaned up) — the rename never happened, so
+// the previous snapshot (or the bare WAL) is the durable truth.
+func readSnapshot(dir string) (*Snapshot, error) {
+	if err := os.Remove(filepath.Join(dir, snapshotFile+".tmp")); err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("serve: snapshot: %w", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, snapshotFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: snapshot: %w", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("serve: snapshot %s: %w", filepath.Join(dir, snapshotFile), err)
+	}
+	if snap.Version != 1 {
+		return nil, fmt.Errorf("serve: snapshot %s: unsupported version %d", filepath.Join(dir, snapshotFile), snap.Version)
+	}
+	return &snap, nil
+}

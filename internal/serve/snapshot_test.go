@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildSession makes a session with a mix of pending, running, retired,
+// expired, and shed jobs — every state class a snapshot must carry.
+func buildSession(t *testing.T) *Session {
+	t.Helper()
+	sess, err := NewSession("snap", Config{Nodes: 16, MaxPending: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSubmit(t, sess, []JobSpec{
+		{Name: "a", User: "u1", Nodes: 8, Estimate: 100},
+		{Name: "b", User: "u1", Nodes: 8, Estimate: 200, Runtime: 150},
+		{Name: "c", User: "u2", Nodes: 16, Estimate: 300},             // waits for a+b
+		{Name: "d", User: "u2", Nodes: 1, Estimate: 50, Deadline: 80}, // expires waiting
+	})
+	if err := sess.Advance(120); err != nil { // a done, d expired at 81
+		t.Fatal(err)
+	}
+	// Overflow the bounded queue: 4 pending max, c is pending plus these.
+	mustSubmit(t, sess, []JobSpec{
+		{Name: "e", Nodes: 1, Estimate: 10}, {Name: "f", Nodes: 1, Estimate: 10},
+		{Name: "g", Nodes: 1, Estimate: 10}, {Name: "h", Nodes: 1, Estimate: 10},
+		{Name: "shed-me", Nodes: 1, Estimate: 10},
+	})
+	return sess
+}
+
+func mustSubmit(t *testing.T, sess *Session, specs []JobSpec) []SubmitResult {
+	t.Helper()
+	rs, err := sess.Submit(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+// TestSnapshotRoundTrip: capture → write → read → restore reproduces
+// the exact fingerprint, and the restored session keeps making the same
+// decisions as the original.
+func TestSnapshotRoundTrip(t *testing.T) {
+	sess := buildSession(t)
+	dir := t.TempDir()
+	want := sess.Fingerprint()
+	snap := sess.Snapshot(42)
+	if err := writeSnapshot(dir, snap); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := readSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("snapshot missing after write")
+	}
+	if got.WALSeq != 42 {
+		t.Fatalf("WALSeq = %d, want 42", got.WALSeq)
+	}
+	restored, err := RestoreSession(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Fingerprint() != want {
+		t.Fatalf("restored fingerprint %016x != original %016x", restored.Fingerprint(), want)
+	}
+
+	// The futures must agree too, not just the instantaneous state.
+	if err := sess.Advance(5000); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Advance(5000); err != nil {
+		t.Fatal(err)
+	}
+	if sess.Fingerprint() != restored.Fingerprint() {
+		t.Fatal("original and restored sessions diverged after further advancing")
+	}
+	if sess.Agg() != restored.Agg() {
+		t.Fatalf("aggregates diverged: %+v vs %+v", sess.Agg(), restored.Agg())
+	}
+}
+
+// TestSnapshotIgnoresTornTemp: a crash mid-write leaves snapshot.json.tmp;
+// recovery must use the last published snapshot and clean the temp up.
+func TestSnapshotIgnoresTornTemp(t *testing.T) {
+	sess := buildSession(t)
+	dir := t.TempDir()
+	if err := writeSnapshot(dir, sess.Snapshot(7)); err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(dir, snapshotFile+".tmp")
+	if err := os.WriteFile(torn, []byte(`{"version":1,"name":"snap","clo`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := readSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || snap.WALSeq != 7 {
+		t.Fatalf("published snapshot not used: %+v", snap)
+	}
+	if _, err := os.Stat(torn); !os.IsNotExist(err) {
+		t.Fatal("torn temp file not cleaned up")
+	}
+
+	// With no published snapshot at all, a torn temp means "no snapshot".
+	empty := t.TempDir()
+	if err := os.WriteFile(filepath.Join(empty, snapshotFile+".tmp"), []byte("gar"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, err = readSnapshot(empty)
+	if err != nil || snap != nil {
+		t.Fatalf("torn temp without published snapshot: snap=%v err=%v", snap, err)
+	}
+}
+
+// TestRestoreRefusesTamperedSnapshot: the self-check fingerprint catches
+// a snapshot whose content was altered after capture.
+func TestRestoreRefusesTamperedSnapshot(t *testing.T) {
+	sess := buildSession(t)
+	snap := sess.Snapshot(1)
+	snap.Agg.Completed++ // silent corruption
+	if _, err := RestoreSession(snap); err == nil {
+		t.Fatal("tampered snapshot restored without complaint")
+	}
+}

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWALRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), walFile)
+	w, recs, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 || w.LastSeq() != 0 {
+		t.Fatalf("fresh wal not empty: %d recs, seq %d", len(recs), w.LastSeq())
+	}
+	batch1 := []Record{
+		{Op: opSubmit, At: 0, Jobs: []JobSpec{{Nodes: 4, Estimate: 100}}},
+		{Op: opAdvance, At: 50},
+	}
+	if err := w.Append(batch1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]Record{{Op: opAdvance, At: 99}}); err != nil {
+		t.Fatal(err)
+	}
+	if w.LastSeq() != 3 {
+		t.Fatalf("LastSeq = %d, want 3", w.LastSeq())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, recs, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeWAL(t, w2)
+	if len(recs) != 3 {
+		t.Fatalf("reopened wal has %d records, want 3", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Seq != uint64(i)+1 {
+			t.Fatalf("record %d has seq %d", i, rec.Seq)
+		}
+	}
+	if recs[0].Op != opSubmit || len(recs[0].Jobs) != 1 || recs[0].Jobs[0].Nodes != 4 {
+		t.Fatalf("submit record did not round-trip: %+v", recs[0])
+	}
+	if recs[2].Op != opAdvance || recs[2].At != 99 {
+		t.Fatalf("advance record did not round-trip: %+v", recs[2])
+	}
+}
+
+// TestWALTornTailRecovered pins the crash contract: a partial final
+// line (kill -9 mid-append) is dropped, truncated off the file, and
+// appending resumes on a clean boundary with the right sequence.
+func TestWALTornTailRecovered(t *testing.T) {
+	path := filepath.Join(t.TempDir(), walFile)
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]Record{{Op: opAdvance, At: 10}, {Op: opAdvance, At: 20}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, torn := range []string{
+		`{"seq":3,"op":"adv`,        // cut mid-record
+		`{"seq":3}`,                 // parsed but empty op (zero-filled tail)
+		"\x00\x00\x00\x00",          // block of zeroes
+		`{"seq":3,"op":"advance","`, // cut mid-key
+	} {
+		if err := os.WriteFile(path, append(append([]byte{}, clean...), torn...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w2, recs, err := OpenWAL(path)
+		if err != nil {
+			t.Fatalf("torn tail %q refused: %v", torn, err)
+		}
+		if len(recs) != 2 {
+			t.Fatalf("torn tail %q: %d records, want 2", torn, len(recs))
+		}
+		if err := w2.Append([]Record{{Op: opAdvance, At: 30}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_, recs, err = OpenWAL(path)
+		if err != nil {
+			t.Fatalf("after torn-tail truncate + append: %v", err)
+		}
+		if len(recs) != 3 || recs[2].Seq != 3 || recs[2].At != 30 {
+			t.Fatalf("append after truncation wrong: %+v", recs)
+		}
+		if err := os.WriteFile(path, clean, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestWALRefusesMidFileCorruption: a torn or garbled record that is NOT
+// the final line means committed operations are missing; recovery must
+// refuse rather than replay to a state clients were never acked.
+func TestWALRefusesMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), walFile)
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]Record{{Op: opAdvance, At: 10}, {Op: opAdvance, At: 20}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	corrupt := "garbage\n" + lines[1]
+	if err := os.WriteFile(path, []byte(corrupt), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenWAL(path); err == nil {
+		t.Fatal("mid-file corruption accepted")
+	}
+
+	// A sequence gap is the same refusal: record 2 without record 1.
+	if err := os.WriteFile(path, []byte(lines[1]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenWAL(path); err == nil {
+		t.Fatal("sequence gap accepted")
+	}
+}
+
+func closeWAL(t *testing.T, w *WAL) {
+	t.Helper()
+	if err := w.Close(); err != nil {
+		t.Errorf("wal close: %v", err)
+	}
+}

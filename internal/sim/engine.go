@@ -41,11 +41,16 @@ type Options struct {
 	// backoff delays, lost-job accounting. The zero value keeps the
 	// historical behavior (unlimited immediate resubmission).
 	Resubmit ResubmitPolicy
-	// Interrupt, when non-nil, is polled once per event batch; when it
-	// reports true the run stops and returns ErrInterrupted. It is the
-	// cooperative cancellation hook used by the eval watchdog and signal
-	// handling — the function must be cheap and safe for concurrent use
-	// with whatever sets it (typically an atomic flag).
+	// Interrupt, when non-nil, is polled once per event batch and after
+	// every scheduling pass; when it reports true the run stops and
+	// returns ErrInterrupted. Schedulers that implement
+	// SetInterrupt(func() bool) (sched.Interruptible) additionally
+	// receive the hook so a single batched pass over a deep backlog is
+	// itself abandoned promptly instead of running to completion first.
+	// It is the cooperative cancellation hook used by the eval watchdog
+	// and signal handling — the function must be cheap and safe for
+	// concurrent use with whatever sets it (typically an atomic flag or
+	// a context check).
 	Interrupt func() bool
 	// Sink, when non-nil, receives every finalized allocation in event
 	// order and Result.Schedule.Allocs stays empty — the bounded-memory
@@ -222,6 +227,16 @@ func run(m Machine, src Source, s Scheduler, opt Options, capHint int) (*Result,
 	var explainer DecisionExplainer
 	if rec != nil {
 		explainer, _ = s.(DecisionExplainer)
+	}
+
+	// Thread the cancellation hook into the scheduler's own pass loops
+	// (structural interface: sim cannot import sched). Without it a pass
+	// already inside Startable runs unbounded on a deep backlog; the
+	// per-event poll below only fires between batches.
+	if opt.Interrupt != nil {
+		if ii, ok := s.(interface{ SetInterrupt(func() bool) }); ok {
+			ii.SetInterrupt(opt.Interrupt)
+		}
 	}
 
 	var (
@@ -505,6 +520,12 @@ func run(m Machine, src Source, s Scheduler, opt Options, capHint int) (*Result,
 					Queue: s.QueueLen(), Free: free})
 			}
 			timed(func() { starts = s.Startable(now, free, running) })
+			// Poll between passes too: an interrupted scheduler may have
+			// abandoned its pass mid-walk and returned a truncated pick
+			// list; the run is being discarded, so none of it starts.
+			if opt.Interrupt != nil && opt.Interrupt() {
+				return nil, ErrInterrupted
+			}
 			if len(starts) == 0 {
 				break
 			}

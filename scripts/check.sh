@@ -26,10 +26,11 @@
 #                profile oracle and cross-worker determinism tests) under
 #                the race detector
 #   race-focus   go test -race -count=2 over the failure-injection path
-#                (sim, eval, faults): the packages where goroutines meet
-#                shared state (parallel grids, journal, watchdog timers,
-#                interrupt flags) get a second run to shake out
-#                order-dependent races the single pass can miss
+#                (sim, eval, faults, serve): the packages where goroutines
+#                meet shared state (parallel grids, journal, watchdog
+#                timers, interrupt flags, the daemon's session workers)
+#                get a second run to shake out order-dependent races the
+#                single pass can miss
 #   fuzz-smoke   fixed-budget runs of the fuzz targets: the SWF reader
 #                (trace.FuzzReadSWF), the availability-profile
 #                differential oracle (profile.FuzzProfileOps), the tree
@@ -48,6 +49,10 @@
 #                (the bounded-memory streaming path), plus a 2-shard
 #                grid evaluation merged and compared byte-for-byte
 #                against a single-process run
+#   serve-smoke  scripts/serve-smoke.sh — boot the jobschedd daemon,
+#                push 10k submissions through cmd/schedload, SIGTERM
+#                drain (must exit 0), restart on the same data directory
+#                and require a byte-identical recovered fingerprint
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -68,7 +73,7 @@ run lint-protocol go run ./cmd/jobschedlint -analyzers passprotocol,streamcontra
 run lint-budget ./scripts/lint-budget.sh
 run build go build ./...
 run test-race go test -race ./...
-run race-focus go test -race -count=2 ./internal/sim ./internal/eval ./internal/faults
+run race-focus go test -race -count=2 ./internal/sim ./internal/eval ./internal/faults ./internal/serve
 run fuzz-smoke go test -run='^$' -fuzz='^FuzzReadSWF$' -fuzztime=500x ./internal/trace
 run fuzz-smoke go test -run='^$' -fuzz='^FuzzProfileOps$' -fuzztime=500x ./internal/profile
 run fuzz-smoke go test -run='^$' -fuzz='^FuzzProfileTree$' -fuzztime=500x ./internal/profile
@@ -79,5 +84,6 @@ echo "==> bench-smoke: go run ./cmd/bench -quick"
 go run ./cmd/bench -quick -out "" -out2 "" -out3 "" -out4 "" -out5 "" >/dev/null
 
 run stream-smoke ./scripts/stream-smoke.sh
+run serve-smoke ./scripts/serve-smoke.sh
 
 echo "OK: all tier-1 checks passed"

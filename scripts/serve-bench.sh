@@ -1,0 +1,112 @@
+#!/bin/sh
+# serve-bench: the daemon's latency/overload experiment, written to
+# BENCH_6.json (run via `make serve-bench`; see DESIGN.md §15).
+#
+# Two phases against real jobschedd processes:
+#
+#   under_limit   offered load sits inside the per-user token-bucket
+#                 rate, so every batch is admitted; the report's
+#                 p50/p95/p99 are the end-to-end submission latency
+#                 (HTTP + session queue + scheduling pass + WAL fsync).
+#   overload_10x  the daemon's admission rate is re-pinned to ~1/10 of
+#                 the throughput phase one sustained, and schedload
+#                 offers the same full-speed stream with -no-retry.
+#                 Overload must surface as explicit, bounded 429/503
+#                 responses — zero transport errors, no timeouts, no
+#                 unbounded queue growth.
+set -eu
+cd "$(dirname "$0")/.."
+
+SERVE_BENCH_JOBS=${SERVE_BENCH_JOBS:-20000}
+SERVE_BENCH_OUT=${SERVE_BENCH_OUT:-BENCH_6.json}
+USERS=4
+
+tmp=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+	if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+		kill -9 "$daemon_pid" 2>/dev/null || true
+	fi
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/jobschedd" ./cmd/jobschedd
+go build -o "$tmp/schedload" ./cmd/schedload
+
+# field <file> <json-key>: pull one numeric field out of a schedload
+# report (MarshalIndent puts each field on its own line).
+field() {
+	awk -v k="\"$2\":" '$1 == k { v = $2; sub(/,$/, "", v); print v; exit }' "$1"
+}
+
+# intfield: same, truncated to an integer for shell arithmetic.
+intfield() {
+	field "$1" "$2" | sed 's/\..*//'
+}
+
+start_daemon() {
+	rm -f "$tmp/addr"
+	"$tmp/jobschedd" -addr 127.0.0.1:0 -addrfile "$tmp/addr" "$@" \
+		>>"$tmp/daemon.log" 2>&1 &
+	daemon_pid=$!
+	for _ in $(seq 1 100); do
+		[ -s "$tmp/addr" ] && break
+		sleep 0.1
+	done
+	[ -s "$tmp/addr" ] || { echo "daemon never came up"; cat "$tmp/daemon.log"; exit 1; }
+	addr=$(cat "$tmp/addr")
+}
+
+stop_daemon() {
+	kill -TERM "$daemon_pid"
+	wait "$daemon_pid"
+	daemon_pid=""
+}
+
+# Phase 1: under the limit. The per-user rate is far above what one
+# machine can offer, so admission never refuses and the percentiles
+# measure the service itself.
+echo "==> serve-bench under_limit: $SERVE_BENCH_JOBS jobs, admission above offered load"
+start_daemon -data "$tmp/under" -rate 1000000 -burst 2000000
+"$tmp/schedload" -addr "$addr" -session bench -jobs "$SERVE_BENCH_JOBS" \
+	-workers 8 -batch 16 -users $USERS -out "$tmp/under.json" >/dev/null
+stop_daemon
+
+[ "$(intfield "$tmp/under.json" errors)" = 0 ] || { echo "FAIL: transport errors under the limit"; exit 1; }
+[ "$(intfield "$tmp/under.json" rate_limited_429)" = 0 ] || { echo "FAIL: refusals under the limit"; exit 1; }
+
+# Phase 2: overload. Offered load is the full-speed rate phase one
+# measured; pin admission to a tenth of it (split across users) so the
+# stream arrives at ~10x the admitted rate.
+admitted_rate=$(intfield "$tmp/under.json" jobs_per_sec)
+per_user_rate=$((admitted_rate / 10 / USERS))
+[ "$per_user_rate" -ge 1 ] || per_user_rate=1
+echo "==> serve-bench overload_10x: offering ~${admitted_rate} jobs/s against ${per_user_rate}/user admitted"
+start_daemon -data "$tmp/over" -rate "$per_user_rate" -burst "$((2 * per_user_rate))"
+"$tmp/schedload" -addr "$addr" -session bench -jobs "$SERVE_BENCH_JOBS" \
+	-workers 8 -batch 16 -users $USERS -no-retry -out "$tmp/over.json" >/dev/null
+stop_daemon
+
+# Overload must be explicit and bounded: every refused batch is a 429
+# or 503, nothing times out or errors, and admission actually bit.
+errors=$(intfield "$tmp/over.json" errors)
+limited=$(intfield "$tmp/over.json" rate_limited_429)
+shed=$(intfield "$tmp/over.json" shed_503)
+admitted=$(intfield "$tmp/over.json" admitted)
+batches=$(intfield "$tmp/over.json" batches)
+[ "$errors" = 0 ] || { echo "FAIL: $errors non-429/503 failures under overload"; exit 1; }
+[ "$((limited + shed))" -gt 0 ] || { echo "FAIL: 10x overload produced no explicit shedding"; exit 1; }
+[ "$((admitted + limited + shed))" = "$batches" ] || { echo "FAIL: batch accounting does not close"; exit 1; }
+
+{
+	printf '{\n'
+	printf '  "schema": "jobsched-bench/v6-serve",\n'
+	printf '  "go_version": "%s",\n' "$(go env GOVERSION)"
+	printf '  "note": "jobschedd service family: under_limit = every batch admitted, latency percentiles are end-to-end per submission batch in ms (HTTP + session queue + scheduling pass + WAL fsync); overload_10x = admission re-pinned to ~1/10 of the measured under-limit throughput while schedload offers the same full-speed stream with -no-retry, so refusals must be explicit bounded 429/503 with zero transport errors",\n'
+	printf '  "under_limit": %s,\n' "$(sed '2,$s/^/  /' "$tmp/under.json")"
+	printf '  "overload_10x": %s\n' "$(sed '2,$s/^/  /' "$tmp/over.json")"
+	printf '}\n'
+} >"$SERVE_BENCH_OUT"
+
+echo "==> serve-bench: wrote $SERVE_BENCH_OUT (p99 under limit: $(field "$tmp/under.json" p99_ms)ms; overload 429=$limited 503=$shed of $batches batches)"

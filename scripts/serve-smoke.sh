@@ -1,0 +1,70 @@
+#!/bin/sh
+# serve-smoke: the scheduler-as-a-service daemon, exercised end to end
+# through the real binaries (see DESIGN.md §15).
+#
+#   1. Boot jobschedd on a free port against a fresh data directory.
+#   2. Push 10k submissions through cmd/schedload (concurrent workers,
+#      batched requests, clock advances interleaved) and capture the
+#      session fingerprint.
+#   3. SIGTERM the daemon: it must refuse new work, flush its final
+#      snapshots, and exit 0 (set -e turns a non-zero drain into a
+#      failure here).
+#   4. Restart on the same data directory and require the recovered
+#      fingerprint to be byte-identical to the pre-shutdown one.
+set -eu
+cd "$(dirname "$0")/.."
+
+SERVE_JOBS=${SERVE_JOBS:-10000}
+
+tmp=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+	if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+		kill -9 "$daemon_pid" 2>/dev/null || true
+	fi
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/jobschedd" ./cmd/jobschedd
+go build -o "$tmp/schedload" ./cmd/schedload
+
+start_daemon() {
+	rm -f "$tmp/addr"
+	"$tmp/jobschedd" -addr 127.0.0.1:0 -addrfile "$tmp/addr" \
+		-data "$tmp/data" -snapshot-every 512 >>"$tmp/daemon.log" 2>&1 &
+	daemon_pid=$!
+	for _ in $(seq 1 100); do
+		[ -s "$tmp/addr" ] && break
+		sleep 0.1
+	done
+	[ -s "$tmp/addr" ] || { echo "daemon never came up"; cat "$tmp/daemon.log"; exit 1; }
+	addr=$(cat "$tmp/addr")
+}
+
+echo "--- serve: $SERVE_JOBS submissions, SIGTERM drain, recovery fingerprint"
+start_daemon
+"$tmp/schedload" -addr "$addr" -session smoke -jobs "$SERVE_JOBS" \
+	-workers 8 -batch 25 -out "$tmp/load.json" >/dev/null
+
+fp_before=$("$tmp/schedload" -addr "$addr" -session smoke -fingerprint)
+echo "    pre-shutdown state: $fp_before"
+
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" # set -eu: a non-zero (unclean) drain exit fails the gate
+daemon_pid=""
+grep -q "drained cleanly" "$tmp/daemon.log"
+
+start_daemon
+fp_after=$("$tmp/schedload" -addr "$addr" -session smoke -fingerprint)
+echo "    recovered state:    $fp_after"
+[ "$fp_before" = "$fp_after" ] || {
+	echo "FAIL: recovery diverged from the drained state"
+	exit 1
+}
+
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
+daemon_pid=""
+
+echo "--- serve: OK (state recovered byte-identically)"
