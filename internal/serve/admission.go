@@ -10,6 +10,12 @@ import (
 // maps it to 429 with a Retry-After.
 var ErrRateLimited = errors.New("serve: rate limited")
 
+// ErrBatchTooLarge refuses a single submission bigger than the per-user
+// burst: no amount of waiting ever admits it, so unlike ErrRateLimited
+// it is not retriable — the client must split the batch. The HTTP layer
+// maps it to 413 with no Retry-After.
+var ErrBatchTooLarge = errors.New("serve: submission exceeds per-user burst")
+
 // Buckets is a per-user token-bucket admission controller: each user
 // accrues Rate tokens per second up to Burst, and a submission of n
 // jobs spends n tokens. Refusals are cheap (no allocation, no queueing)
@@ -26,6 +32,11 @@ type Buckets struct {
 
 	mu    sync.Mutex
 	users map[string]*bucket
+	// lastSweep gates the O(users) refill sweep: re-running it before a
+	// single token could have accrued cannot free anything, so while
+	// saturated the insert path skips it instead of paying a full scan
+	// per request.
+	lastSweep time.Time
 }
 
 type bucket struct {
@@ -33,10 +44,12 @@ type bucket struct {
 	last   time.Time
 }
 
-// maxUsers bounds the bucket map; beyond it, full buckets are swept
-// (forgetting a full bucket is lossless — an idle user re-enters with a
-// full bucket anyway), so an adversary cycling user names cannot grow
-// memory without bound.
+// maxUsers is a hard bound on the bucket map: before an insert would
+// exceed it, refilled (idle) buckets are swept — forgetting a full
+// bucket is lossless, an idle user re-enters with a full bucket anyway
+// — and if nothing has refilled, an arbitrary bucket is evicted in
+// O(1). An adversary cycling user names can therefore neither grow
+// memory without bound nor force a full-map scan per request.
 const maxUsers = 16384
 
 // NewBuckets builds the controller. rate <= 0 disables admission
@@ -65,7 +78,7 @@ func (b *Buckets) AllowN(user string, n int) (ok bool, retryAfter time.Duration)
 	u := b.users[user]
 	if u == nil {
 		if len(b.users) >= maxUsers {
-			b.sweep()
+			b.makeRoom(t)
 		}
 		u = &bucket{tokens: b.burst, last: t}
 		b.users[user] = u
@@ -81,7 +94,9 @@ func (b *Buckets) AllowN(user string, n int) (ok bool, retryAfter time.Duration)
 		return true, 0
 	}
 	// A request larger than the burst can never accrue enough; quote the
-	// full-bucket wait so the client learns to split the batch.
+	// full-bucket wait. Callers should refuse such requests up front via
+	// MaxBatch/ErrBatchTooLarge — a finite retry-after here would loop a
+	// well-behaved client forever.
 	short := need - u.tokens
 	if need > b.burst {
 		short = b.burst - u.tokens
@@ -89,9 +104,41 @@ func (b *Buckets) AllowN(user string, n int) (ok bool, retryAfter time.Duration)
 	return false, time.Duration(short / b.rate * float64(time.Second))
 }
 
+// MaxBatch is the largest single submission the per-user burst can ever
+// admit; 0 means unlimited (admission disabled). Requests above it
+// should be refused with ErrBatchTooLarge rather than sent to AllowN,
+// whose retriable refusal would never stop.
+func (b *Buckets) MaxBatch() int {
+	if b == nil || b.rate <= 0 {
+		return 0
+	}
+	return int(b.burst)
+}
+
+// makeRoom enforces maxUsers ahead of an insert: sweep refilled
+// buckets, but only if at least one token could have accrued since the
+// last sweep (otherwise it cannot free anything and would be an
+// O(users) scan per request while saturated); if the map is still full,
+// evict an arbitrary bucket in O(1). Forgetting a live bucket forgives
+// at most one burst of debt — bounded, and under a flood of unique
+// names the victim is almost surely one of the flood's own single-use
+// entries. Requires b.mu.
+func (b *Buckets) makeRoom(t time.Time) {
+	if t.Sub(b.lastSweep).Seconds()*b.rate >= 1 {
+		b.sweep(t)
+		b.lastSweep = t
+	}
+	if len(b.users) < maxUsers {
+		return
+	}
+	for name := range b.users {
+		delete(b.users, name)
+		return
+	}
+}
+
 // sweep drops buckets that have re-filled (idle users). Requires b.mu.
-func (b *Buckets) sweep() {
-	t := b.now()
+func (b *Buckets) sweep(t time.Time) {
 	for name, u := range b.users {
 		if u.tokens+t.Sub(u.last).Seconds()*b.rate >= b.burst {
 			delete(b.users, name)

@@ -75,6 +75,21 @@ func TestBucketsOverBurstRequest(t *testing.T) {
 	}
 }
 
+// TestBucketsMaxBatch: MaxBatch is the split threshold callers refuse
+// above (ErrBatchTooLarge) instead of letting AllowN 429 forever.
+func TestBucketsMaxBatch(t *testing.T) {
+	if got := NewBuckets(10, 20, nil).MaxBatch(); got != 20 {
+		t.Fatalf("MaxBatch = %d, want 20", got)
+	}
+	if got := NewBuckets(0, 0, nil).MaxBatch(); got != 0 {
+		t.Fatalf("disabled MaxBatch = %d, want 0 (unlimited)", got)
+	}
+	var b *Buckets
+	if got := b.MaxBatch(); got != 0 {
+		t.Fatalf("nil MaxBatch = %d, want 0 (unlimited)", got)
+	}
+}
+
 func TestBucketsDisabledAndNil(t *testing.T) {
 	if ok, _ := NewBuckets(0, 0, nil).AllowN("u", 1<<30); !ok {
 		t.Fatal("rate 0 must admit everything")
@@ -103,5 +118,36 @@ func TestBucketsBoundedUsers(t *testing.T) {
 	b.mu.Unlock()
 	if n > maxUsers {
 		t.Fatalf("user map grew to %d, bound is %d", n, maxUsers)
+	}
+}
+
+// TestBucketsHardCapUnderFlood: the adversarial case — a flood of
+// unique names that drain their buckets with the clock frozen, so the
+// refill sweep can never free anything. The map must still respect the
+// hard cap (arbitrary O(1) eviction), and the gated sweep must not
+// rescan the whole map per insert.
+func TestBucketsHardCapUnderFlood(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBuckets(10, 20, clk.now)
+	for i := 0; i < maxUsers+1000; i++ {
+		if ok, _ := b.AllowN(fmt.Sprintf("u%d", i), 20); !ok {
+			t.Fatalf("user %d refused its first burst", i)
+		}
+	}
+	b.mu.Lock()
+	n := len(b.users)
+	swept := b.lastSweep
+	b.mu.Unlock()
+	if n > maxUsers {
+		t.Fatalf("user map grew to %d under flood, bound is %d", n, maxUsers)
+	}
+	// The sweep ran once when the cap was first hit and then stayed
+	// gated (no token could have accrued on a frozen clock).
+	if swept != clk.t {
+		t.Fatalf("lastSweep = %v, want %v", swept, clk.t)
+	}
+	// A returning user still gets a fresh bucket after eviction made room.
+	if ok, _ := b.AllowN("late", 20); !ok {
+		t.Fatal("new user refused while at the cap")
 	}
 }

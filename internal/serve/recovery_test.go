@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -181,6 +182,57 @@ func TestRecoveryTornWALTail(t *testing.T) {
 		t.Fatalf("after post-recovery commit: info=%+v err=%v", info, err)
 	}
 	if err := store.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// countdownCtx reports no error for the first n Err() calls, then a
+// deadline — a request whose budget expires after the pre-apply check
+// but during the apply itself.
+type countdownCtx struct {
+	context.Context
+	n int
+}
+
+func (c *countdownCtx) Err() error {
+	if c.n > 0 {
+		c.n--
+		return nil
+	}
+	return context.DeadlineExceeded
+}
+
+// TestRecoveryPoisonPreservesCause: an operation interrupted mid-apply
+// poisons and reloads the session, but the reply must still carry the
+// interrupt sentinel — the HTTP layer maps it to 504, not a generic
+// 500 — and the session keeps serving afterwards.
+func TestRecoveryPoisonPreservesCause(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Create("s", Config{Nodes: 8}); err != nil {
+		t.Fatal(err)
+	}
+	// n=1: the commit loop's pre-apply Err() check passes, the interrupt
+	// hook's first poll inside Advance fires.
+	ctx := &countdownCtx{Context: context.Background(), n: 1}
+	err = store.Advance(ctx, "s", 100)
+	if err == nil {
+		t.Fatal("mid-apply interrupt not surfaced")
+	}
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("poisoned apply lost its cause: got %v, want errors.Is ErrInterrupted", err)
+	}
+	// The reload healed the session: the same advance now commits.
+	if err := store.Advance(context.Background(), "s", 100); err != nil {
+		t.Fatalf("advance after reload: %v", err)
+	}
+	if info, err := store.Info("s"); err != nil || info.Clock != 100 {
+		t.Fatalf("after reload: info=%+v err=%v", info, err)
+	}
+	if err := store.Drain(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -137,6 +137,11 @@ func (s *Server) writeError(w http.ResponseWriter, err error, retryAfter time.Du
 	case errors.Is(err, ErrRejected):
 		status = http.StatusBadRequest
 		s.rejected.Add(1)
+	case errors.Is(err, ErrBatchTooLarge):
+		// Deliberately no Retry-After: resubmitting the same batch can
+		// never succeed, the client must split it.
+		status = http.StatusRequestEntityTooLarge
+		s.rejected.Add(1)
 	case errors.Is(err, ErrNotFound):
 		status = http.StatusNotFound
 	case errors.Is(err, ErrExists):
@@ -256,6 +261,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	user := r.Header.Get("X-User")
 	if user == "" {
 		user = "anonymous"
+	}
+	if max := s.buckets.MaxBatch(); max > 0 && len(req.Jobs) > max {
+		// A batch over the burst is unsatisfiable at any rate — a 429
+		// would have a well-behaved Retry-After-honoring client loop
+		// forever on the same refusal.
+		s.writeError(w, fmt.Errorf("%w: batch of %d jobs exceeds the per-user burst of %d, split the submission", ErrBatchTooLarge, len(req.Jobs), max), 0)
+		return
 	}
 	if ok, wait := s.buckets.AllowN(user, len(req.Jobs)); !ok {
 		s.writeError(w, fmt.Errorf("%w: user %s exceeds %g jobs/s", ErrRateLimited, user, s.opt.Rate), wait)

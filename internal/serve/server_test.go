@@ -161,6 +161,35 @@ func TestServerRateLimit429(t *testing.T) {
 	}
 }
 
+// TestServerOverBurstBatch413: a single batch larger than the per-user
+// burst can never be admitted at any rate, so it is refused with a
+// terminal 413 (split the batch) instead of a retriable 429 — a client
+// honoring Retry-After would otherwise resubmit the same batch forever.
+func TestServerOverBurstBatch413(t *testing.T) {
+	srv, _ := newTestServer(t, StoreOptions{}, ServerOptions{Rate: 100, Burst: 2})
+	if w := doJSON(t, srv, "POST", "/v1/sessions", "", createRequest{Name: "m1", Config: Config{Nodes: 64}}); w.Code != http.StatusCreated {
+		t.Fatalf("create: %d", w.Code)
+	}
+	big := submitRequest{Jobs: []JobSpec{
+		{Nodes: 1, Estimate: 60}, {Nodes: 1, Estimate: 60}, {Nodes: 1, Estimate: 60},
+	}}
+	w := doJSON(t, srv, "POST", "/v1/sessions/m1/jobs", "alice", big)
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-burst batch: %d %s, want 413", w.Code, w.Body)
+	}
+	if ra := w.Header().Get("Retry-After"); ra != "" {
+		t.Fatalf("413 carries Retry-After %q; it must not invite a retry of the same batch", ra)
+	}
+	if !strings.Contains(w.Body.String(), "split") {
+		t.Fatalf("413 body does not tell the client to split: %s", w.Body)
+	}
+	// The refusal spent no tokens: a burst-sized batch still goes through.
+	ok := submitRequest{Jobs: []JobSpec{{Nodes: 1, Estimate: 60}, {Nodes: 1, Estimate: 60}}}
+	if w := doJSON(t, srv, "POST", "/v1/sessions/m1/jobs", "alice", ok); w.Code != http.StatusOK {
+		t.Fatalf("burst-sized batch after 413: %d %s", w.Code, w.Body)
+	}
+}
+
 // TestServerShedsWhenIntakeFull: with the worker wedged and the bounded
 // queue full, submissions get an immediate 503 + Retry-After instead of
 // queueing without bound.

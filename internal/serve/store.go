@@ -570,7 +570,9 @@ func (h *handle) commit(batch []*work) {
 		res, rec, poison := h.applyOne(w)
 		if poison != nil {
 			h.recoverLocked(poison)
-			failErr := fmt.Errorf("serve: session reloaded after failed apply (%v): operation rolled back, safe to retry", poison)
+			// %w preserves the cause's sentinels (ErrInterrupted, deadline)
+			// so the HTTP layer maps a timed-out apply to 504, not 500.
+			failErr := fmt.Errorf("serve: session reloaded after failed apply (%w): operation rolled back, safe to retry", poison)
 			for _, aw := range applied {
 				aw.reply <- workResult{err: failErr}
 			}

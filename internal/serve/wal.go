@@ -56,7 +56,13 @@ type WAL struct {
 // crash mid-write — is dropped and truncated away before appending
 // resumes; a torn or out-of-sequence record anywhere else is corruption
 // and refused, because silently skipping committed operations would
-// replay to a different state than the one clients were acked.
+// replay to a different state than the one clients were acked. A record
+// only counts as committed if its trailing newline made it to disk:
+// acks happen after the newline-inclusive buffer is fsynced, so an
+// unterminated final line — even one that unmarshals cleanly, a write
+// torn exactly at the closing brace — was never acknowledged, and
+// keeping it would leave the next append gluing two records onto one
+// unparseable line.
 func OpenWAL(path string) (*WAL, []Record, error) {
 	data, err := os.ReadFile(path)
 	if err != nil && !os.IsNotExist(err) {
@@ -69,11 +75,11 @@ func OpenWAL(path string) (*WAL, []Record, error) {
 	)
 	for off := 0; off < len(data); {
 		nl := bytes.IndexByte(data[off:], '\n')
-		end := len(data)
-		if nl >= 0 {
-			end = off + nl + 1
+		if nl < 0 {
+			break // unterminated final line: torn even if it parses, drop it
 		}
-		line := bytes.TrimSuffix(data[off:end], []byte("\n"))
+		end := off + nl + 1
+		line := data[off : off+nl]
 		lineNo++
 		var rec Record
 		if uerr := json.Unmarshal(line, &rec); uerr != nil || rec.Op == "" {

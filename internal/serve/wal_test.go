@@ -79,6 +79,10 @@ func TestWALTornTailRecovered(t *testing.T) {
 		`{"seq":3}`,                 // parsed but empty op (zero-filled tail)
 		"\x00\x00\x00\x00",          // block of zeroes
 		`{"seq":3,"op":"advance","`, // cut mid-key
+		// Valid JSON torn exactly at the closing brace (no newline): never
+		// acked, so it must be dropped — accepting it would glue the next
+		// append onto the same line.
+		`{"seq":3,"op":"advance","at":25}`,
 	} {
 		if err := os.WriteFile(path, append(append([]byte{}, clean...), torn...), 0o644); err != nil {
 			t.Fatal(err)

@@ -82,8 +82,13 @@ stop_daemon
 admitted_rate=$(intfield "$tmp/under.json" jobs_per_sec)
 per_user_rate=$((admitted_rate / 10 / USERS))
 [ "$per_user_rate" -ge 1 ] || per_user_rate=1
+# The burst must cover one batch (16 jobs): a single batch above the
+# burst is a terminal 413 (split it), not the bounded retriable
+# 429/503 shedding this phase measures.
+burst=$((2 * per_user_rate))
+[ "$burst" -ge 16 ] || burst=16
 echo "==> serve-bench overload_10x: offering ~${admitted_rate} jobs/s against ${per_user_rate}/user admitted"
-start_daemon -data "$tmp/over" -rate "$per_user_rate" -burst "$((2 * per_user_rate))"
+start_daemon -data "$tmp/over" -rate "$per_user_rate" -burst "$burst"
 "$tmp/schedload" -addr "$addr" -session bench -jobs "$SERVE_BENCH_JOBS" \
 	-workers 8 -batch 16 -users $USERS -no-retry -out "$tmp/over.json" >/dev/null
 stop_daemon
